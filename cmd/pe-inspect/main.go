@@ -1,0 +1,132 @@
+// Command pe-inspect dumps the structure of a PE32 image: headers, section
+// table, entropy per section, slack regions, and overlay. With -gen it
+// first generates a synthetic corpus sample to inspect, which is the
+// quickest way to see what the attack substrate looks like.
+//
+// Usage:
+//
+//	pe-inspect file.exe
+//	pe-inspect -gen malware -seed 7
+//	pe-inspect -gen benign -disasm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"mpass/internal/corpus"
+	"mpass/internal/features"
+	"mpass/internal/pefile"
+	"mpass/internal/sandbox"
+	"mpass/internal/visa"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pe-inspect: ")
+	gen := flag.String("gen", "", "generate a sample instead of reading a file: 'malware' or 'benign'")
+	seed := flag.Int64("seed", 1, "generator seed for -gen")
+	disasm := flag.Bool("disasm", false, "disassemble the entry section as VISA-32")
+	run := flag.Bool("run", false, "execute the image in the sandbox and print its API trace")
+	flag.Parse()
+
+	var raw []byte
+	var err error
+	switch {
+	case *gen == "malware":
+		raw = corpus.NewGenerator(*seed).Sample(corpus.Malware).Raw
+	case *gen == "benign":
+		raw = corpus.NewGenerator(*seed).Sample(corpus.Benign).Raw
+	case flag.NArg() == 1:
+		raw, err = os.ReadFile(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := pefile.Parse(raw)
+	if err != nil {
+		log.Fatalf("parse: %v", err)
+	}
+
+	fmt.Printf("file size        %d bytes\n", len(raw))
+	fmt.Printf("timestamp        %#x\n", f.FileHeader.TimeDateStamp)
+	fmt.Printf("entry point      RVA %#x", f.Optional.AddressOfEntryPoint)
+	if s := f.EntrySection(); s != nil {
+		fmt.Printf(" (in %s)", s.Name)
+	}
+	fmt.Println()
+	fmt.Printf("image size       %#x\n", f.Optional.SizeOfImage)
+	fmt.Printf("sections         %d\n", len(f.Sections))
+	fmt.Printf("%-10s %10s %10s %10s %8s %6s\n", "name", "va", "rawoff", "rawsize", "entropy", "flags")
+	for _, s := range f.Sections {
+		flags := ""
+		if s.IsCode() {
+			flags += "X"
+		}
+		if s.Characteristics&pefile.SecMemWrite != 0 {
+			flags += "W"
+		}
+		if s.Characteristics&pefile.SecInitializedData != 0 {
+			flags += "D"
+		}
+		fmt.Printf("%-10s %#10x %#10x %#10x %8.2f %6s\n",
+			s.Name, s.VirtualAddress, s.PointerToRawData, s.SizeOfRawData,
+			features.Entropy(s.Data), flags)
+	}
+	for _, sl := range f.SlackRegions() {
+		fmt.Printf("slack in %-8s offset %#x len %d\n", sl.Section, sl.Offset, sl.Length)
+	}
+	if len(f.Overlay) > 0 {
+		fmt.Printf("overlay          %d bytes, entropy %.2f\n", len(f.Overlay), features.Entropy(f.Overlay))
+	}
+
+	if *disasm {
+		s := f.EntrySection()
+		if s == nil {
+			log.Fatal("no entry section to disassemble")
+		}
+		fmt.Printf("\ndisassembly of %s:\n", s.Name)
+		off := f.Optional.AddressOfEntryPoint - s.VirtualAddress
+		for i := 0; i < 40 && int(off)+visa.Size <= len(s.Data); i++ {
+			in, err := visa.Decode(s.Data[off:])
+			if err != nil {
+				fmt.Printf("  %#06x  <undecodable: %v>\n", s.VirtualAddress+off, err)
+				break
+			}
+			fmt.Printf("  %#06x  %s\n", s.VirtualAddress+off, in)
+			if in.Op == visa.HALT {
+				break
+			}
+			off += visa.Size
+		}
+	}
+
+	if *run {
+		res, err := sandbox.Run(raw)
+		if err != nil {
+			log.Fatalf("sandbox: %v", err)
+		}
+		fmt.Printf("\nsandbox: %d steps, halted=%v\n", res.Steps, res.Halted())
+		if res.Err != nil {
+			fmt.Printf("fault: %v\n", res.Err)
+		}
+		fmt.Printf("API trace (%d events):\n", len(res.Trace))
+		for i, e := range res.Trace {
+			if i >= 25 {
+				fmt.Printf("  ... %d more\n", len(res.Trace)-i)
+				break
+			}
+			name := corpus.APIName(e.API)
+			if name == "" {
+				name = fmt.Sprintf("api_%d", e.API)
+			}
+			fmt.Printf("  %-28s arg=%#x\n", name, e.Arg)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Explain: the problem-space explainability method (PEM, §III-B).
+//
+// Trains the known-model ensemble, computes exact section-level Shapley
+// values (Eq. 1) for a handful of malware samples, runs Algorithm 1, and
+// prints the per-model ranking plus the common critical sections — which,
+// as in the paper, come out as the code and data sections.
+//
+//	go run ./examples/explain
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mpass/internal/corpus"
+	"mpass/internal/detect"
+	"mpass/internal/shapley"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	ds := corpus.MakeAugmentedDataset(2, 30, 30, 0.75)
+	cfg := detect.DefaultTrainConfig()
+	malconv, nonneg, lgbm, malgcg, err := detect.TrainAll(ds, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// N randomly sampled malware (Algorithm 1's C).
+	var samples [][]byte
+	for _, s := range ds.Test {
+		if s.Family == corpus.Malware && len(samples) < 5 {
+			samples = append(samples, s.Raw)
+		}
+	}
+
+	models := []shapley.Model{malconv, nonneg, malgcg, lgbm}
+	res, err := shapley.PEM(models, samples, shapley.Config{TopH: 10, TopK: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("per-model mean section Shapley values E_f(phi_i):")
+	for _, m := range models {
+		fmt.Printf("  %-10s", m.Name())
+		for i, sc := range res.PerModel[m.Name()] {
+			if i >= 4 {
+				break
+			}
+			fmt.Printf("  %-7s %+.4f", sc.Section, sc.Value)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\ncommon critical sections S~ = %v\n", res.Critical)
+
+	// The paper's quantitative claim: the top-2 sections' values are
+	// 1.3-6.0x the 3rd's.
+	for _, m := range models {
+		r := res.PerModel[m.Name()]
+		if len(r) >= 3 && r[2].Value > 1e-9 {
+			fmt.Printf("%s: rank2/rank3 value ratio = %.1fx\n",
+				m.Name(), r[1].Value/r[2].Value)
+		}
+	}
+
+	// Per-sample view for one malware: exact Shapley with the efficiency
+	// axiom as a sanity check.
+	phi, err := shapley.SectionShapley(samples[0], res.Sections, malconv.Score)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resid, err := shapley.Efficiency(samples[0], res.Sections, malconv.Score)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsample 0 on MalConv: phi = %v\nefficiency residual = %.2e (exact computation)\n", phi, resid)
+}

@@ -1,0 +1,86 @@
+// Quickstart: the smallest end-to-end MPass run.
+//
+// It generates a tiny synthetic corpus, trains one MalConv detector,
+// attacks one detected malware sample with MPass (using two other trained
+// models as the known ensemble), and verifies in the sandbox that the
+// adversarial example still performs the original malicious behaviour.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mpass/internal/core"
+	"mpass/internal/corpus"
+	"mpass/internal/detect"
+	"mpass/internal/sandbox"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Corpus: synthetic PE malware and benign programs (the repo's
+	// substitute for VirusTotal/VirusShare samples).
+	ds := corpus.MakeAugmentedDataset(1, 30, 30, 0.75)
+	fmt.Printf("corpus: %d train / %d test samples\n", len(ds.Train), len(ds.Test))
+
+	// 2. Detectors: the black-box target plus two known models.
+	cfg := detect.DefaultTrainConfig()
+	malconv, err := detect.TrainMalConv(ds, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nonneg, err := detect.TrainNonNeg(ds, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	malgcg, err := detect.TrainMalGCG(ds, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MalConv test accuracy: %.0f%%\n", 100*detect.Accuracy(malconv, ds.Test))
+
+	// 3. Pick a victim the target currently detects.
+	victims := detect.DetectedMalware(malconv, ds.Test)
+	if len(victims) == 0 {
+		log.Fatal("no detected malware in the test split")
+	}
+	victim := victims[0]
+	fmt.Printf("victim: %s (%d bytes), MalConv score %.3f\n",
+		victim.Name, len(victim.Raw), malconv.Score(victim.Raw))
+
+	// 4. Benign donors for the initial perturbations.
+	g := corpus.NewGenerator(999)
+	var donors [][]byte
+	for i := 0; i < 16; i++ {
+		donors = append(donors, g.Sample(corpus.Benign).Raw)
+	}
+
+	// 5. MPass: hard-label black-box attack with the paper's settings.
+	acfg := core.DefaultConfig([]detect.GradientModel{nonneg, malgcg}, donors)
+	attacker, err := core.New(acfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	oracle := &core.CountingOracle{Oracle: core.DetectorOracle{D: malconv}}
+	res, err := attacker.Attack(victim.Raw, oracle)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Success {
+		log.Fatalf("attack failed after %d queries", res.Queries)
+	}
+	fmt.Printf("bypassed MalConv in %d queries; AE score %.3f\n",
+		res.Queries, malconv.Score(res.AE))
+	fmt.Printf("AE size: %d bytes (APR %.0f%%)\n", len(res.AE),
+		100*float64(len(res.AE)-len(victim.Raw))/float64(len(victim.Raw)))
+
+	// 6. Functionality check: the AE must reproduce the original API trace.
+	ok, err := sandbox.BehaviourPreserved(victim.Raw, res.AE)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("behaviour preserved: %v\n", ok)
+}

@@ -1,0 +1,3 @@
+module mpass
+
+go 1.22

@@ -1,0 +1,122 @@
+// Package attacks reimplements the four state-of-the-art black-box
+// baselines the paper compares against (§IV "Datasets and baselines"):
+//
+//   - RLA — RL-Attack (Anderson et al., Black Hat 2017): tabular
+//     Q-learning over functionality-safe PE mutations.
+//   - MAB — MAB-Malware (Song et al., AsiaCCS 2022): Thompson-sampling
+//     multi-armed bandit over the same mutation space.
+//   - GAMMA — (Demetrio et al., TIFS 2021): genetic optimization that
+//     injects benign sections and padding.
+//   - MalRNN — (Ebrahimi et al. 2020): appends payloads sampled from a
+//     byte-level language model trained on benign programs.
+//
+// All baselines share the defining restriction the paper exploits: they
+// only apply transformations that are safe *without* a recovery mechanism —
+// header edits, section additions, and tail appends — and never touch code
+// or data section contents.
+package attacks
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mpass/internal/core"
+	"mpass/internal/pefile"
+)
+
+// Attack is the common interface the evaluation harness drives. MPass and
+// every baseline implement it.
+type Attack interface {
+	Name() string
+	Run(original []byte, target core.Oracle) (*core.Result, error)
+}
+
+// Config carries what every baseline needs.
+type Config struct {
+	// Donors is the benign-content pool mutations draw from. The published
+	// baseline tools ship with a small payload set; keep this modest to
+	// stay faithful (MPass gets its own, larger pool).
+	Donors [][]byte
+	// MaxQueries is the per-sample hard-label query budget.
+	MaxQueries int
+	// Seed drives all attack randomness.
+	Seed int64
+}
+
+func (c Config) validate() error {
+	if len(c.Donors) == 0 {
+		return fmt.Errorf("attacks: empty donor pool")
+	}
+	if c.MaxQueries <= 0 {
+		return fmt.Errorf("attacks: non-positive query budget")
+	}
+	return nil
+}
+
+// donorBytes returns n bytes from a random donor at a random offset.
+func donorBytes(donors [][]byte, rng *rand.Rand, n int) []byte {
+	d := donors[rng.Intn(len(donors))]
+	out := make([]byte, n)
+	off := rng.Intn(len(d))
+	for i := range out {
+		out[i] = d[(off+i)%len(d)]
+	}
+	return out
+}
+
+// The shared mutation space: every entry preserves functionality trivially
+// (no code/data content is touched), mirroring the action sets of RL-Attack
+// and MAB-Malware.
+const numActions = 6
+
+// applyAction mutates f in place with action id a.
+func applyAction(a int, f *pefile.File, donors [][]byte, rng *rand.Rand) {
+	switch a {
+	case 0: // append benign bytes to the overlay
+		f.AppendOverlay(donorBytes(donors, rng, 1024+rng.Intn(3072)))
+	case 1: // add a new section of benign content
+		name := randomSectionName(f, rng)
+		data := donorBytes(donors, rng, 1024+rng.Intn(3072))
+		chars := uint32(pefile.SecCharacteristicsRsrc)
+		if rng.Intn(2) == 0 {
+			chars = pefile.SecCharacteristicsData
+		}
+		// Name collisions are avoided by randomSectionName; size is
+		// generator-bounded, so the error path is impossible here.
+		if _, err := f.AddSection(name, data, chars); err != nil {
+			panic(err)
+		}
+	case 2: // randomize the build timestamp
+		f.SetTimestamp(uint32(rng.Int31()))
+	case 3: // rename a random section
+		if len(f.Sections) > 0 {
+			s := f.Sections[rng.Intn(len(f.Sections))]
+			_ = f.RenameSection(s.Name, randomSectionName(f, rng))
+		}
+	case 4: // append zero padding to the overlay
+		f.AppendOverlay(make([]byte, 512+rng.Intn(1024)))
+	case 5: // grow an existing benign-content section
+		for _, s := range f.Sections {
+			if s.Characteristics == pefile.SecCharacteristicsRsrc {
+				s.Data = append(s.Data, donorBytes(donors, rng, 1024+rng.Intn(2048))...)
+				s.VirtualSize = uint32(len(s.Data))
+				f.Layout()
+				return
+			}
+		}
+		f.AppendOverlay(donorBytes(donors, rng, 1024))
+	}
+}
+
+func randomSectionName(f *pefile.File, rng *rand.Rand) string {
+	const letters = "abcdefghijklmnopqrstuvwxyz0123456789"
+	for {
+		b := []byte{'.', 0, 0, 0, 0}
+		for i := 1; i < len(b); i++ {
+			b[i] = letters[rng.Intn(len(letters))]
+		}
+		if f.SectionByName(string(b)) == nil {
+			return string(b)
+		}
+	}
+}

@@ -1,0 +1,273 @@
+package attacks
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"mpass/internal/core"
+	"mpass/internal/corpus"
+	"mpass/internal/nn"
+	"mpass/internal/pefile"
+	"mpass/internal/sandbox"
+)
+
+var (
+	fixOnce sync.Once
+	donors  [][]byte
+	victim  []byte
+	lm      *nn.ByteLM
+	lmErr   error
+)
+
+func fixtures(t *testing.T) {
+	t.Helper()
+	fixOnce.Do(func() {
+		g := corpus.NewGenerator(101)
+		for i := 0; i < 8; i++ {
+			donors = append(donors, g.Sample(corpus.Benign).Raw)
+		}
+		victim = g.Sample(corpus.Malware).Raw
+		lm, lmErr = TrainMalRNNLM(donors, 2, 7)
+	})
+	if lmErr != nil {
+		t.Fatalf("LM training: %v", lmErr)
+	}
+}
+
+func config() Config { return Config{Donors: donors, MaxQueries: 60, Seed: 3} }
+
+// sizeOracle detects the sample until its size doubles — every append-style
+// baseline can beat it within budget.
+type sizeOracle struct{ base int }
+
+func (o sizeOracle) Name() string             { return "size" }
+func (o sizeOracle) Detected(raw []byte) bool { return len(raw) < 2*o.base }
+
+// alwaysOracle never lets anything through.
+type alwaysOracle struct{}
+
+func (alwaysOracle) Name() string         { return "always" }
+func (alwaysOracle) Detected([]byte) bool { return true }
+
+// sectionCountOracle flags files with few sections — GAMMA's injection and
+// the add-section action beat it; pure appending does not.
+type sectionCountOracle struct{}
+
+func (sectionCountOracle) Name() string { return "sections" }
+func (sectionCountOracle) Detected(raw []byte) bool {
+	f, err := pefile.Parse(raw)
+	if err != nil {
+		return true
+	}
+	return len(f.Sections) < 7
+}
+
+func allAttacks(t *testing.T) []Attack {
+	t.Helper()
+	fixtures(t)
+	rla, err := NewRLA(config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mab, err := NewMAB(config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gamma, err := NewGAMMA(config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	malrnn, err := NewMalRNN(config(), lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Attack{rla, mab, gamma, malrnn}
+}
+
+func TestBaselinesBeatSizeOracle(t *testing.T) {
+	for _, atk := range allAttacks(t) {
+		t.Run(atk.Name(), func(t *testing.T) {
+			res, err := atk.Run(victim, sizeOracle{base: len(victim)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Success {
+				t.Fatalf("failed in %d queries", res.Queries)
+			}
+			if res.Queries <= 0 || res.Queries > 60 {
+				t.Errorf("queries = %d", res.Queries)
+			}
+			if _, err := pefile.Parse(res.AE); err != nil {
+				t.Errorf("AE invalid: %v", err)
+			}
+		})
+	}
+}
+
+func TestBaselinesPreserveFunctionality(t *testing.T) {
+	for _, atk := range allAttacks(t) {
+		t.Run(atk.Name(), func(t *testing.T) {
+			res, err := atk.Run(victim, sizeOracle{base: len(victim)})
+			if err != nil || !res.Success {
+				t.Fatalf("res=%+v err=%v", res, err)
+			}
+			ok, err := sandbox.BehaviourPreserved(victim, res.AE)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Error("baseline AE broke behaviour")
+			}
+		})
+	}
+}
+
+func TestBaselinesRespectBudget(t *testing.T) {
+	for _, atk := range allAttacks(t) {
+		t.Run(atk.Name(), func(t *testing.T) {
+			res, err := atk.Run(victim, alwaysOracle{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Success {
+				t.Error("success against always-detect oracle")
+			}
+			if res.Queries != 60 {
+				t.Errorf("queries = %d, want exactly the budget 60", res.Queries)
+			}
+		})
+	}
+}
+
+func TestBaselinesNeverTouchCodeOrData(t *testing.T) {
+	// The defining restriction: original .text and .data bytes survive in
+	// every baseline AE.
+	origF, err := pefile.Parse(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, atk := range allAttacks(t) {
+		t.Run(atk.Name(), func(t *testing.T) {
+			res, err := atk.Run(victim, sizeOracle{base: len(victim)})
+			if err != nil || !res.Success {
+				t.Fatalf("res=%+v err=%v", res, err)
+			}
+			aeF, err := pefile.Parse(res.AE)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, name := range []string{".text", ".data"} {
+				os := origF.SectionByName(name)
+				// Sections may be renamed (RLA/MAB rename action) — locate
+				// by virtual address instead.
+				as := aeF.SectionAt(os.VirtualAddress)
+				if as == nil {
+					t.Fatalf("%s section vanished", name)
+				}
+				for i := range os.Data {
+					if os.Data[i] != as.Data[i] {
+						t.Fatalf("%s modified at offset %d", name, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestGAMMAInjectsSections(t *testing.T) {
+	fixtures(t)
+	gamma, err := NewGAMMA(config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := gamma.Run(victim, sectionCountOracle{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Success {
+		t.Fatal("GAMMA could not satisfy the section-count oracle")
+	}
+	f, _ := pefile.Parse(res.AE)
+	if len(f.Sections) < 7 {
+		t.Errorf("AE has %d sections", len(f.Sections))
+	}
+}
+
+func TestMalRNNAppendsOnly(t *testing.T) {
+	fixtures(t)
+	m, err := NewMalRNN(config(), lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(victim, sizeOracle{base: len(victim)})
+	if err != nil || !res.Success {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+	f, _ := pefile.Parse(res.AE)
+	of, _ := pefile.Parse(victim)
+	if len(f.Sections) != len(of.Sections) {
+		t.Errorf("MalRNN changed the section table: %d vs %d sections",
+			len(f.Sections), len(of.Sections))
+	}
+	if len(f.Overlay) == 0 {
+		t.Error("MalRNN produced no overlay payload")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	fixtures(t)
+	bad := Config{Donors: nil, MaxQueries: 10}
+	if _, err := NewRLA(bad); err == nil {
+		t.Error("RLA accepted empty donors")
+	}
+	bad2 := Config{Donors: donors, MaxQueries: 0}
+	if _, err := NewMAB(bad2); err == nil {
+		t.Error("MAB accepted zero budget")
+	}
+	if _, err := NewMalRNN(config(), nil); err == nil {
+		t.Error("MalRNN accepted nil LM")
+	}
+	if _, err := NewGAMMA(Config{Donors: [][]byte{[]byte("not a pe")}, MaxQueries: 5}); err == nil {
+		t.Error("GAMMA accepted donors with no harvestable sections")
+	}
+}
+
+func TestAttackNames(t *testing.T) {
+	names := map[string]bool{}
+	for _, atk := range allAttacks(t) {
+		names[atk.Name()] = true
+	}
+	for _, want := range []string{"RLA", "MAB", "GAMMA", "MalRNN"} {
+		if !names[want] {
+			t.Errorf("missing attack %q (have %v)", want, names)
+		}
+	}
+}
+
+func TestMPassAdapter(t *testing.T) {
+	fixtures(t)
+	cfg := core.DefaultConfig(nil, donors)
+	cfg.SkipOptimize = true
+	cfg.MaxQueries = 5
+	atk, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp := NewMPass(atk)
+	if mp.Name() != "MPass" {
+		t.Errorf("name = %q", mp.Name())
+	}
+	res, err := mp.Run(victim, sizeOracle{base: len(victim)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MPass roughly doubles the file (keys + stub), so the size oracle may
+	// or may not trip; just check the adapter plumbs through.
+	if res.Queries == 0 {
+		t.Error("no queries made through adapter")
+	}
+	if !strings.Contains("MPass", mp.Name()) {
+		t.Error("unexpected name")
+	}
+}

@@ -1,0 +1,191 @@
+package attacks
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"mpass/internal/core"
+	"mpass/internal/pefile"
+)
+
+// GAMMA is the genetic benign-injection baseline (Demetrio et al.). A
+// genome selects which harvested benign sections to inject and how much
+// benign padding to append; a small population evolves under hard-label
+// fitness (bypass beats detection; among detected candidates, smaller is
+// fitter, matching the published size-penalty λ). Every fitness evaluation
+// costs one query, which is why GAMMA's AVQ is high, and the injected
+// sections are why its APR dwarfs everyone else's (Table III: ~4000%).
+type GAMMA struct {
+	cfg        Config
+	Population int
+	MutateProb float64
+	// harvest is the benign-section pool genomes index into.
+	harvest [][]byte
+}
+
+// NewGAMMA harvests donor sections and builds the baseline.
+func NewGAMMA(cfg Config) (*GAMMA, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	g := &GAMMA{cfg: cfg, Population: 8, MutateProb: 0.3}
+	for _, d := range cfg.Donors {
+		f, err := pefile.Parse(d)
+		if err != nil {
+			continue // non-PE donor content is still usable by others
+		}
+		for _, s := range f.Sections {
+			if len(s.Data) > 0 {
+				g.harvest = append(g.harvest, append([]byte(nil), s.Data...))
+			}
+		}
+	}
+	if len(g.harvest) == 0 {
+		return nil, fmt.Errorf("gamma: no benign sections harvested from donors")
+	}
+	return g, nil
+}
+
+// Name implements Attack.
+func (g *GAMMA) Name() string { return "GAMMA" }
+
+// genome encodes one candidate: which harvested sections to inject (by
+// repetition-allowed index) and the padding length.
+type genome struct {
+	inject  []int
+	padding int
+}
+
+func (g *GAMMA) randomGenome(rng *rand.Rand) genome {
+	n := 2 + rng.Intn(10)
+	ge := genome{padding: rng.Intn(8192)}
+	for i := 0; i < n; i++ {
+		ge.inject = append(ge.inject, rng.Intn(len(g.harvest)))
+	}
+	return ge
+}
+
+func (g *GAMMA) mutate(ge genome, rng *rand.Rand) genome {
+	out := genome{inject: append([]int(nil), ge.inject...), padding: ge.padding}
+	switch rng.Intn(3) {
+	case 0: // add an injection
+		out.inject = append(out.inject, rng.Intn(len(g.harvest)))
+	case 1: // drop one
+		if len(out.inject) > 1 {
+			i := rng.Intn(len(out.inject))
+			out.inject = append(out.inject[:i], out.inject[i+1:]...)
+		}
+	case 2: // re-draw padding
+		out.padding = rng.Intn(8192)
+	}
+	return out
+}
+
+func crossover(a, b genome, rng *rand.Rand) genome {
+	out := genome{padding: a.padding}
+	if rng.Intn(2) == 0 {
+		out.padding = b.padding
+	}
+	cut := 0
+	if len(a.inject) > 0 {
+		cut = rng.Intn(len(a.inject) + 1)
+	}
+	out.inject = append(out.inject, a.inject[:cut]...)
+	if len(b.inject) > 0 {
+		out.inject = append(out.inject, b.inject[rng.Intn(len(b.inject)):]...)
+	}
+	if len(out.inject) == 0 {
+		out.inject = []int{rng.Intn(1 << 30)}
+	}
+	return out
+}
+
+// render applies a genome to the pristine sample.
+func (g *GAMMA) render(original []byte, ge genome, rng *rand.Rand) ([]byte, error) {
+	f, err := pefile.Parse(original)
+	if err != nil {
+		return nil, fmt.Errorf("gamma: %w", err)
+	}
+	for _, idx := range ge.inject {
+		data := g.harvest[idx%len(g.harvest)]
+		chars := uint32(pefile.SecCharacteristicsRsrc)
+		if idx%2 == 1 {
+			chars = pefile.SecCharacteristicsData
+		}
+		if _, err := f.AddSection(randomSectionName(f, rng), data, chars); err != nil {
+			return nil, err
+		}
+	}
+	if ge.padding > 0 {
+		f.AppendOverlay(donorBytes(g.cfg.Donors, rng, ge.padding))
+	}
+	return f.Bytes(), nil
+}
+
+// Run implements Attack.
+func (g *GAMMA) Run(original []byte, target core.Oracle) (*core.Result, error) {
+	rng := rand.New(rand.NewSource(g.cfg.Seed ^ (int64(len(original)) << 2)))
+	res := &core.Result{}
+
+	type scored struct {
+		ge   genome
+		size int
+	}
+	pop := make([]scored, 0, g.Population)
+
+	evaluate := func(ge genome) (bypassed bool, raw []byte, err error) {
+		raw, err = g.render(original, ge, rng)
+		if err != nil {
+			return false, nil, err
+		}
+		res.Queries++
+		return !target.Detected(raw), raw, nil
+	}
+
+	// Initial population.
+	for i := 0; i < g.Population && res.Queries < g.cfg.MaxQueries; i++ {
+		ge := g.randomGenome(rng)
+		ok, raw, err := evaluate(ge)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			res.Success, res.AE = true, raw
+			return res, nil
+		}
+		pop = append(pop, scored{ge: ge, size: len(raw)})
+	}
+
+	for res.Queries < g.cfg.MaxQueries {
+		res.Rounds++
+		// Elitism by size (all current members are detected; smaller is
+		// fitter under the size penalty).
+		sort.Slice(pop, func(i, j int) bool { return pop[i].size < pop[j].size })
+		elite := pop
+		if len(elite) > g.Population/2 {
+			elite = elite[:g.Population/2]
+		}
+		var next []scored
+		next = append(next, elite...)
+		for len(next) < g.Population && res.Queries < g.cfg.MaxQueries {
+			a := elite[rng.Intn(len(elite))].ge
+			b := elite[rng.Intn(len(elite))].ge
+			child := crossover(a, b, rng)
+			if rng.Float64() < g.MutateProb {
+				child = g.mutate(child, rng)
+			}
+			ok, raw, err := evaluate(child)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				res.Success, res.AE = true, raw
+				return res, nil
+			}
+			next = append(next, scored{ge: child, size: len(raw)})
+		}
+		pop = next
+	}
+	return res, nil
+}

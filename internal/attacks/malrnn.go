@@ -1,0 +1,114 @@
+package attacks
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mpass/internal/core"
+	"mpass/internal/nn"
+	"mpass/internal/pefile"
+)
+
+// MalRNN is the language-model appending baseline (Ebrahimi et al.): a byte
+// LM trained on benign programs generates payloads that are appended to the
+// malware, growing geometrically until the target stops detecting it or the
+// query budget runs out. No header or section-table change is made — the
+// attack surface is purely the tail, the narrowest of all baselines.
+type MalRNN struct {
+	cfg Config
+	lm  *nn.ByteLM
+	// InitialLen is the first payload size; each retry doubles it up to
+	// MaxPayload.
+	InitialLen int
+	MaxPayload int
+	// Temperature controls LM sampling.
+	Temperature float64
+}
+
+// TrainMalRNNLM fits the byte language model on the donor pool. It is
+// separated from NewMalRNN so one trained LM can be shared across attack
+// instances (training is the expensive part).
+func TrainMalRNNLM(donors [][]byte, epochs int, seed int64) (*nn.ByteLM, error) {
+	if len(donors) == 0 {
+		return nil, fmt.Errorf("malrnn: no donor programs to train on")
+	}
+	lm := nn.NewByteLM(8, 24, seed)
+	opt := nn.NewAdam(5e-3)
+	rng := rand.New(rand.NewSource(seed))
+	const chunk = 96
+	for e := 0; e < epochs; e++ {
+		for range donors {
+			d := donors[rng.Intn(len(donors))]
+			if len(d) <= chunk {
+				continue
+			}
+			off := rng.Intn(len(d) - chunk)
+			if _, err := lm.TrainChunk(d[off:off+chunk], opt); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return lm, nil
+}
+
+// NewMalRNN builds the baseline around a trained LM.
+func NewMalRNN(cfg Config, lm *nn.ByteLM) (*MalRNN, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if lm == nil {
+		return nil, fmt.Errorf("malrnn: nil language model")
+	}
+	return &MalRNN{
+		cfg: cfg, lm: lm,
+		InitialLen: 1024, MaxPayload: 16384, Temperature: 0.8,
+	}, nil
+}
+
+// Name implements Attack.
+func (m *MalRNN) Name() string { return "MalRNN" }
+
+// Run implements Attack.
+func (m *MalRNN) Run(original []byte, target core.Oracle) (*core.Result, error) {
+	rng := rand.New(rand.NewSource(m.cfg.Seed ^ (int64(len(original)) << 3)))
+	res := &core.Result{}
+
+	f, err := pefile.Parse(original)
+	if err != nil {
+		return nil, fmt.Errorf("malrnn: %w", err)
+	}
+	// Prime the LM with the sample's trailing bytes, as the published
+	// attack conditions generation on the file context.
+	prime := original
+	if len(prime) > 64 {
+		prime = prime[len(prime)-64:]
+	}
+
+	size := m.InitialLen
+	total := 0
+	for res.Queries < m.cfg.MaxQueries {
+		res.Rounds++
+		payload := m.lm.Generate(prime, size, m.Temperature, rng)
+		f.AppendOverlay(payload)
+		total += size
+		raw := f.Bytes()
+		res.Queries++
+		if !target.Detected(raw) {
+			res.Success = true
+			res.AE = raw
+			return res, nil
+		}
+		if size < m.MaxPayload {
+			size *= 2
+		}
+		if total > 4*m.MaxPayload {
+			// Appending clearly is not working; restart with fresh noise.
+			if f, err = pefile.Parse(original); err != nil {
+				return nil, err
+			}
+			total = 0
+			size = m.InitialLen
+		}
+	}
+	return res, nil
+}

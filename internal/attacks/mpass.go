@@ -1,0 +1,22 @@
+package attacks
+
+import (
+	"mpass/internal/core"
+)
+
+// MPass adapts the core attacker to the common Attack interface so the
+// evaluation grid can drive all five attacks uniformly.
+type MPass struct {
+	Attacker *core.Attacker
+}
+
+// NewMPass wraps a configured core attacker.
+func NewMPass(a *core.Attacker) *MPass { return &MPass{Attacker: a} }
+
+// Name implements Attack.
+func (m *MPass) Name() string { return "MPass" }
+
+// Run implements Attack.
+func (m *MPass) Run(original []byte, target core.Oracle) (*core.Result, error) {
+	return m.Attacker.Attack(original, target)
+}

@@ -1,0 +1,118 @@
+package attacks
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mpass/internal/core"
+	"mpass/internal/pefile"
+)
+
+// RLA is the RL-Attack baseline: episodic tabular Q-learning over the
+// mutation space. Each episode starts from the pristine malware, applies up
+// to EpisodeLen mutations, and queries the target after every mutation; a
+// bypass terminates with reward 1. Q-values persist across episodes of the
+// same sample, so later episodes exploit what earlier ones learned — but
+// every step costs a query, which is why RLA's AVQ is the highest of all
+// baselines, exactly as in Table II.
+type RLA struct {
+	cfg        Config
+	EpisodeLen int
+	Epsilon    float64
+	Alpha      float64 // learning rate
+	Gamma      float64 // discount
+}
+
+// NewRLA builds the baseline with the published tool's defaults. Unlike the
+// other baselines, RL-Attack's append actions use *random* payload bytes
+// (its gym-malware action set), not harvested benign content — one reason
+// the paper finds it the weakest attack.
+func NewRLA(cfg Config) (*RLA, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x524C41))
+	pool := make([][]byte, 4)
+	for i := range pool {
+		b := make([]byte, 8192)
+		rng.Read(b)
+		pool[i] = b
+	}
+	cfg.Donors = pool
+	return &RLA{cfg: cfg, EpisodeLen: 8, Epsilon: 0.3, Alpha: 0.5, Gamma: 0.9}, nil
+}
+
+// Name implements Attack.
+func (r *RLA) Name() string { return "RLA" }
+
+// state buckets the observable file structure, the tabular stand-in for
+// RL-Attack's hand-crafted feature state.
+func rlaState(f *pefile.File, step int) int {
+	nSec := len(f.Sections)
+	if nSec > 7 {
+		nSec = 7
+	}
+	ov := 0
+	switch {
+	case len(f.Overlay) == 0:
+	case len(f.Overlay) < 1024:
+		ov = 1
+	default:
+		ov = 2
+	}
+	return (step*8+nSec)*3 + ov
+}
+
+// Run implements Attack.
+func (r *RLA) Run(original []byte, target core.Oracle) (*core.Result, error) {
+	rng := rand.New(rand.NewSource(r.cfg.Seed ^ int64(len(original))))
+	q := make(map[[2]int]float64) // (state, action) -> value
+	res := &core.Result{}
+
+	bestQ := func(s int) (int, float64) {
+		bi, bv := 0, q[[2]int{s, 0}]
+		for a := 1; a < numActions; a++ {
+			if v := q[[2]int{s, a}]; v > bv {
+				bi, bv = a, v
+			}
+		}
+		return bi, bv
+	}
+
+	for res.Queries < r.cfg.MaxQueries {
+		res.Rounds++
+		f, err := pefile.Parse(original)
+		if err != nil {
+			return nil, fmt.Errorf("rla: %w", err)
+		}
+		for step := 0; step < r.EpisodeLen && res.Queries < r.cfg.MaxQueries; step++ {
+			s := rlaState(f, step)
+			var a int
+			if rng.Float64() < r.Epsilon {
+				a = rng.Intn(numActions)
+			} else {
+				a, _ = bestQ(s)
+			}
+			applyAction(a, f, r.cfg.Donors, rng)
+			raw := f.Bytes()
+			res.Queries++
+			detected := target.Detected(raw)
+
+			reward := -0.05
+			if !detected {
+				reward = 1
+			}
+			s2 := rlaState(f, step+1)
+			_, nextV := bestQ(s2)
+			key := [2]int{s, a}
+			q[key] += r.Alpha * (reward + r.Gamma*nextV - q[key])
+
+			if !detected {
+				res.Success = true
+				res.AE = raw
+				return res, nil
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,207 @@
+package av
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"mpass/internal/corpus"
+	"mpass/internal/packer"
+	"mpass/internal/pefile"
+)
+
+var (
+	avOnce sync.Once
+	avErr  error
+	suite  []*AV
+	avDS   *corpus.Dataset
+)
+
+func avFixtures(t *testing.T) {
+	t.Helper()
+	avOnce.Do(func() {
+		avDS = corpus.MakeDataset(31, 40, 40, 0.75)
+		suite, avErr = NewSuite(avDS, DefaultSuiteConfig())
+	})
+	if avErr != nil {
+		t.Fatalf("NewSuite: %v", avErr)
+	}
+}
+
+func TestSuiteHasFiveNamedAVs(t *testing.T) {
+	avFixtures(t)
+	if len(suite) != 5 {
+		t.Fatalf("suite size = %d", len(suite))
+	}
+	for i, a := range suite {
+		want := []string{"AV1", "AV2", "AV3", "AV4", "AV5"}[i]
+		if a.Name() != want {
+			t.Errorf("AV %d name = %q, want %q", i, a.Name(), want)
+		}
+	}
+}
+
+func TestAVsDetectMalwareAndPassBenign(t *testing.T) {
+	avFixtures(t)
+	for _, a := range suite {
+		var detected, falsePos int
+		var nMal, nBen int
+		for _, s := range avDS.Test {
+			if s.Family == corpus.Malware {
+				nMal++
+				if a.Detected(s.Raw) {
+					detected++
+				}
+			} else {
+				nBen++
+				if a.Detected(s.Raw) {
+					falsePos++
+				}
+			}
+		}
+		if detected < nMal*8/10 {
+			t.Errorf("%s detects only %d/%d malware", a.Name(), detected, nMal)
+		}
+		if falsePos > nBen/4 {
+			t.Errorf("%s flags %d/%d benign", a.Name(), falsePos, nBen)
+		}
+	}
+}
+
+func TestAVsFlagPackedSamples(t *testing.T) {
+	// The entropy heuristic should catch most encrypted-packer output on at
+	// least the stricter AVs.
+	avFixtures(t)
+	g := corpus.NewGenerator(400)
+	rng := rand.New(rand.NewSource(4))
+	p := packer.NewPESpin()
+	flagged := 0
+	total := 0
+	for i := 0; i < 6; i++ {
+		packed, err := p.Pack(g.Sample(corpus.Malware).Raw, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range suite {
+			total++
+			if a.Detected(packed) {
+				flagged++
+			}
+		}
+	}
+	if flagged < total*6/10 {
+		t.Errorf("packed samples flagged %d/%d times", flagged, total)
+	}
+}
+
+func TestAVFlagsGarbage(t *testing.T) {
+	avFixtures(t)
+	if !suite[0].Detected([]byte("not a pe at all")) {
+		t.Error("unparsable submission not flagged")
+	}
+}
+
+func TestLearnRoundMinesSharedArtifacts(t *testing.T) {
+	avFixtures(t)
+	a := suite[0]
+	a.ResetSignatures()
+	defer a.ResetSignatures()
+
+	// Build a pool of "AEs" sharing a fixed 64-byte artifact not present in
+	// benign programs.
+	artifact := bytes.Repeat([]byte{0xDE, 0xAD, 0xBE, 0xEF}, 16)
+	g := corpus.NewGenerator(500)
+	var pool [][]byte
+	for i := 0; i < 6; i++ {
+		f, err := pefile.Parse(g.Sample(corpus.Malware).Raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.AppendOverlay(artifact)
+		pool = append(pool, f.Bytes())
+	}
+	added := a.LearnRound(pool, 50)
+	if added == 0 {
+		t.Fatal("no signatures mined from a pool with a shared artifact")
+	}
+	// The learned signatures must now catch every pool member.
+	for i, raw := range pool {
+		if !a.Detected(raw) {
+			t.Errorf("pool member %d evades after learning", i)
+		}
+	}
+}
+
+func TestLearnRoundIgnoresBenignContent(t *testing.T) {
+	avFixtures(t)
+	a := suite[1]
+	a.ResetSignatures()
+	defer a.ResetSignatures()
+
+	// A pool whose only shared content comes verbatim from the vendor's
+	// benign reference corpus must yield no signatures matching benign
+	// programs.
+	var benign []byte
+	for _, s := range avDS.Train {
+		if s.Family == corpus.Benign {
+			benign = s.Raw
+			break
+		}
+	}
+	g := corpus.NewGenerator(600)
+	var pool [][]byte
+	for i := 0; i < 5; i++ {
+		f, _ := pefile.Parse(g.Sample(corpus.Malware).Raw)
+		f.AppendOverlay(benign[:256])
+		pool = append(pool, f.Bytes())
+	}
+	a.LearnRound(pool, 50)
+	for _, sig := range a.sigs {
+		if bytes.Contains(benign, sig) {
+			t.Fatalf("mined signature matches benign reference content")
+		}
+	}
+}
+
+func TestLearnRoundSupportsThreshold(t *testing.T) {
+	avFixtures(t)
+	a := suite[2]
+	a.ResetSignatures()
+	defer a.ResetSignatures()
+	// A single submission can never produce a signature (support < 2).
+	g := corpus.NewGenerator(700)
+	if added := a.LearnRound([][]byte{g.Sample(corpus.Malware).Raw}, 10); added != 0 {
+		t.Errorf("single-sample pool yielded %d signatures", added)
+	}
+	if added := a.LearnRound(nil, 10); added != 0 {
+		t.Errorf("empty pool yielded %d signatures", added)
+	}
+}
+
+func TestSignatureAccumulationAndReset(t *testing.T) {
+	avFixtures(t)
+	a := suite[3]
+	a.ResetSignatures()
+	artifact := bytes.Repeat([]byte{0x41, 0x42, 0x43, 0x99}, 12)
+	g := corpus.NewGenerator(800)
+	var pool [][]byte
+	for i := 0; i < 4; i++ {
+		f, _ := pefile.Parse(g.Sample(corpus.Malware).Raw)
+		f.AppendOverlay(artifact)
+		pool = append(pool, f.Bytes())
+	}
+	n1 := a.LearnRound(pool, 3)
+	c1 := a.SignatureCount()
+	a.LearnRound(pool, 3) // same pool: dups skipped, maybe few new
+	if a.SignatureCount() < c1 {
+		t.Error("signature count decreased")
+	}
+	if n1 == 0 {
+		t.Error("first round added nothing")
+	}
+	a.ResetSignatures()
+	if a.SignatureCount() != 0 {
+		t.Error("reset did not clear signatures")
+	}
+}

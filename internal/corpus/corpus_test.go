@@ -1,0 +1,224 @@
+package corpus
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"mpass/internal/pefile"
+	"mpass/internal/sandbox"
+)
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a := NewGenerator(42).Sample(Malware)
+	b := NewGenerator(42).Sample(Malware)
+	if !bytes.Equal(a.Raw, b.Raw) {
+		t.Error("same seed produced different samples")
+	}
+	c := NewGenerator(43).Sample(Malware)
+	if bytes.Equal(a.Raw, c.Raw) {
+		t.Error("different seeds produced identical samples")
+	}
+}
+
+func TestSamplesAreValidPE(t *testing.T) {
+	g := NewGenerator(1)
+	for _, fam := range []Family{Benign, Malware} {
+		for i := 0; i < 10; i++ {
+			s := g.Sample(fam)
+			f, err := pefile.Parse(s.Raw)
+			if err != nil {
+				t.Fatalf("%s: %v", s.Name, err)
+			}
+			if f.SectionByName(".text") == nil || f.SectionByName(".data") == nil {
+				t.Errorf("%s: missing core sections", s.Name)
+			}
+			if f.EntrySection() == nil || !f.EntrySection().IsCode() {
+				t.Errorf("%s: entry point not in a code section", s.Name)
+			}
+		}
+	}
+}
+
+func TestSamplesExecuteAndHalt(t *testing.T) {
+	g := NewGenerator(2)
+	for _, fam := range []Family{Benign, Malware} {
+		for i := 0; i < 15; i++ {
+			s := g.Sample(fam)
+			res, err := sandbox.Run(s.Raw)
+			if err != nil {
+				t.Fatalf("%s: %v", s.Name, err)
+			}
+			if !res.Halted() {
+				t.Fatalf("%s: fault %v", s.Name, res.Err)
+			}
+			if len(res.Trace) == 0 {
+				t.Errorf("%s: empty behaviour trace", s.Name)
+			}
+		}
+	}
+}
+
+func TestMalwareTracesShowSensitiveAPIs(t *testing.T) {
+	g := NewGenerator(3)
+	for i := 0; i < 10; i++ {
+		s := g.Sample(Malware)
+		res, err := sandbox.Run(s.Raw)
+		if err != nil || !res.Halted() {
+			t.Fatalf("%s: %v %v", s.Name, err, res.Err)
+		}
+		sensitive := 0
+		for _, e := range res.Trace {
+			if IsSensitive(e.API) {
+				sensitive++
+			}
+		}
+		if sensitive == 0 {
+			t.Errorf("%s: no sensitive API in trace", s.Name)
+		}
+	}
+}
+
+func TestBenignTracesHaveNoSensitiveAPIs(t *testing.T) {
+	g := NewGenerator(4)
+	for i := 0; i < 10; i++ {
+		s := g.Sample(Benign)
+		res, err := sandbox.Run(s.Raw)
+		if err != nil || !res.Halted() {
+			t.Fatalf("%s: %v %v", s.Name, err, res.Err)
+		}
+		for _, e := range res.Trace {
+			if IsSensitive(e.API) {
+				t.Errorf("%s: benign sample called sensitive API %d", s.Name, e.API)
+			}
+		}
+	}
+}
+
+func TestBehaviourDependsOnDataSection(t *testing.T) {
+	// Corrupting .data without a recovery module must change the trace for
+	// at least some samples: that property is what makes naive data-section
+	// modification functionality-breaking.
+	g := NewGenerator(5)
+	changed := 0
+	for i := 0; i < 12; i++ {
+		s := g.Sample(Malware)
+		f, err := pefile.Parse(s.Raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := f.SectionByName(".data")
+		for j := range d.Data {
+			d.Data[j] ^= 0xA5
+		}
+		ok, err := sandbox.BehaviourPreserved(s.Raw, f.Bytes())
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if !ok {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Error("no sample's behaviour depends on its data section")
+	}
+}
+
+func TestImportSectionNamesCalledAPIs(t *testing.T) {
+	g := NewGenerator(6)
+	s := g.Sample(Malware)
+	f, err := pefile.Parse(s.Raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idata := f.SectionByName(".idata")
+	if idata == nil {
+		t.Fatal("no .idata section")
+	}
+	res, err := sandbox.Run(s.Raw)
+	if err != nil || !res.Halted() {
+		t.Fatal(err, res.Err)
+	}
+	for _, e := range res.Trace {
+		name := APIName(e.API)
+		if name == "" {
+			t.Fatalf("trace contains unnamed API %d", e.API)
+		}
+		if !bytes.Contains(idata.Data, []byte(name)) {
+			t.Errorf("import table missing called API %q", name)
+		}
+	}
+}
+
+func TestFamilyDataSectionEntropyGap(t *testing.T) {
+	// Malware .data should be visibly higher-entropy than benign .data; the
+	// EMBER-style features rely on this.
+	ent := func(b []byte) float64 {
+		var hist [256]int
+		for _, x := range b {
+			hist[x]++
+		}
+		h := 0.0
+		for _, c := range hist {
+			if c == 0 {
+				continue
+			}
+			p := float64(c) / float64(len(b))
+			h -= p * math.Log2(p)
+		}
+		return h
+	}
+	g := NewGenerator(7)
+	var malEnt, benEnt float64
+	const n = 10
+	for i := 0; i < n; i++ {
+		m, _ := pefile.Parse(g.Sample(Malware).Raw)
+		b, _ := pefile.Parse(g.Sample(Benign).Raw)
+		malEnt += ent(m.SectionByName(".data").Data)
+		benEnt += ent(b.SectionByName(".data").Data)
+	}
+	if malEnt/n <= benEnt/n {
+		t.Errorf("malware data entropy %.2f not above benign %.2f", malEnt/n, benEnt/n)
+	}
+}
+
+func TestMakeDatasetSplit(t *testing.T) {
+	ds := MakeDataset(11, 10, 10, 0.8)
+	if len(ds.Train) != 16 || len(ds.Test) != 4 {
+		t.Fatalf("split = %d/%d, want 16/4", len(ds.Train), len(ds.Test))
+	}
+	countMal := func(ss []*Sample) int {
+		n := 0
+		for _, s := range ss {
+			if s.Family == Malware {
+				n++
+			}
+		}
+		return n
+	}
+	if countMal(ds.Train) != 8 || countMal(ds.Test) != 2 {
+		t.Errorf("family balance off: train %d/16 malware, test %d/4",
+			countMal(ds.Train), countMal(ds.Test))
+	}
+}
+
+func TestFamilyString(t *testing.T) {
+	if Benign.String() != "benign" || Malware.String() != "malware" {
+		t.Error("Family.String mismatch")
+	}
+}
+
+func TestAPINameAndSensitivity(t *testing.T) {
+	if APIName(900) != "CreateRemoteThread" {
+		t.Errorf("APIName(900) = %q", APIName(900))
+	}
+	if APIName(1) != "GetTickCount" {
+		t.Errorf("APIName(1) = %q", APIName(1))
+	}
+	if APIName(123456) != "" {
+		t.Error("unknown API has a name")
+	}
+	if IsSensitive(1) || !IsSensitive(900) {
+		t.Error("IsSensitive misclassifies")
+	}
+}

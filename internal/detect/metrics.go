@@ -1,0 +1,124 @@
+package detect
+
+import (
+	"sort"
+
+	"mpass/internal/corpus"
+)
+
+// ROCPoint is one operating point of a detector.
+type ROCPoint struct {
+	Threshold float64
+	TPR, FPR  float64
+}
+
+// ROC sweeps the detector's score over the samples and returns the
+// receiver-operating curve, ordered by increasing FPR.
+func ROC(d Detector, samples []*corpus.Sample) []ROCPoint {
+	type scored struct {
+		s float64
+		y bool
+	}
+	var xs []scored
+	var pos, neg int
+	for _, smp := range samples {
+		y := smp.Family == corpus.Malware
+		if y {
+			pos++
+		} else {
+			neg++
+		}
+		xs = append(xs, scored{s: d.Score(smp.Raw), y: y})
+	}
+	if pos == 0 || neg == 0 {
+		return nil
+	}
+	sort.Slice(xs, func(i, j int) bool { return xs[i].s > xs[j].s })
+
+	out := []ROCPoint{{Threshold: 1.01, TPR: 0, FPR: 0}}
+	tp, fp := 0, 0
+	for i := 0; i < len(xs); {
+		thr := xs[i].s
+		for i < len(xs) && xs[i].s == thr {
+			if xs[i].y {
+				tp++
+			} else {
+				fp++
+			}
+			i++
+		}
+		out = append(out, ROCPoint{
+			Threshold: thr,
+			TPR:       float64(tp) / float64(pos),
+			FPR:       float64(fp) / float64(neg),
+		})
+	}
+	return out
+}
+
+// AUC integrates the ROC with the trapezoid rule. 1.0 is a perfect
+// detector; 0.5 is chance.
+func AUC(d Detector, samples []*corpus.Sample) float64 {
+	roc := ROC(d, samples)
+	if len(roc) == 0 {
+		return 0
+	}
+	var auc float64
+	for i := 1; i < len(roc); i++ {
+		auc += (roc[i].FPR - roc[i-1].FPR) * (roc[i].TPR + roc[i-1].TPR) / 2
+	}
+	return auc
+}
+
+// ConfusionMatrix counts hard-label outcomes at the detector's calibrated
+// threshold.
+type ConfusionMatrix struct {
+	TP, FP, TN, FN int
+}
+
+// Confusion evaluates the detector's hard labels over the samples.
+func Confusion(d Detector, samples []*corpus.Sample) ConfusionMatrix {
+	var m ConfusionMatrix
+	for _, smp := range samples {
+		pred := d.Label(smp.Raw)
+		if smp.Family == corpus.Malware {
+			if pred {
+				m.TP++
+			} else {
+				m.FN++
+			}
+		} else {
+			if pred {
+				m.FP++
+			} else {
+				m.TN++
+			}
+		}
+	}
+	return m
+}
+
+// Precision returns TP/(TP+FP), or 0 when undefined.
+func (m ConfusionMatrix) Precision() float64 {
+	if m.TP+m.FP == 0 {
+		return 0
+	}
+	return float64(m.TP) / float64(m.TP+m.FP)
+}
+
+// Recall returns TP/(TP+FN), or 0 when undefined.
+func (m ConfusionMatrix) Recall() float64 {
+	if m.TP+m.FN == 0 {
+		return 0
+	}
+	return float64(m.TP) / float64(m.TP+m.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (m ConfusionMatrix) F1() float64 {
+	p, r := m.Precision(), m.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}

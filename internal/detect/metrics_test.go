@@ -1,0 +1,101 @@
+package detect
+
+import (
+	"math"
+	"testing"
+
+	"mpass/internal/corpus"
+)
+
+func TestAUCOfTrainedDetectors(t *testing.T) {
+	mc, _, lg, _ := models(t)
+	ds := dataset(t)
+	for _, d := range []Detector{mc, lg} {
+		auc := AUC(d, ds.Test)
+		if auc < 0.95 {
+			t.Errorf("%s AUC = %.3f, want near-perfect on the synthetic corpus", d.Name(), auc)
+		}
+	}
+}
+
+func TestROCMonotone(t *testing.T) {
+	mc, _, _, _ := models(t)
+	ds := dataset(t)
+	roc := ROC(mc, ds.Test)
+	if len(roc) < 3 {
+		t.Fatalf("ROC has %d points", len(roc))
+	}
+	for i := 1; i < len(roc); i++ {
+		if roc[i].FPR < roc[i-1].FPR || roc[i].TPR < roc[i-1].TPR {
+			t.Fatalf("ROC not monotone at %d: %+v -> %+v", i, roc[i-1], roc[i])
+		}
+	}
+	last := roc[len(roc)-1]
+	if last.TPR != 1 || last.FPR != 1 {
+		t.Errorf("ROC does not end at (1,1): %+v", last)
+	}
+}
+
+func TestROCDegenerateInputs(t *testing.T) {
+	mc, _, _, _ := models(t)
+	onlyMal := []*corpus.Sample{{Family: corpus.Malware, Raw: []byte{1, 2, 3}}}
+	if got := ROC(mc, onlyMal); got != nil {
+		t.Error("single-class ROC should be nil")
+	}
+	if got := AUC(mc, nil); got != 0 {
+		t.Errorf("empty AUC = %v", got)
+	}
+}
+
+// perfectDetector scores by a planted label byte — lets us pin exact
+// metric values.
+type perfectDetector struct{ invert bool }
+
+func (perfectDetector) Name() string { return "perfect" }
+func (d perfectDetector) Score(raw []byte) float64 {
+	s := float64(raw[0])
+	if d.invert {
+		s = 1 - s
+	}
+	return s
+}
+func (d perfectDetector) Label(raw []byte) bool { return d.Score(raw) >= 0.5 }
+
+func syntheticSamples() []*corpus.Sample {
+	var out []*corpus.Sample
+	for i := 0; i < 10; i++ {
+		fam := corpus.Benign
+		b := byte(0)
+		if i%2 == 0 {
+			fam = corpus.Malware
+			b = 1
+		}
+		out = append(out, &corpus.Sample{Family: fam, Raw: []byte{b}})
+	}
+	return out
+}
+
+func TestAUCBounds(t *testing.T) {
+	ss := syntheticSamples()
+	if auc := AUC(perfectDetector{}, ss); math.Abs(auc-1) > 1e-9 {
+		t.Errorf("perfect detector AUC = %v", auc)
+	}
+	if auc := AUC(perfectDetector{invert: true}, ss); math.Abs(auc) > 1e-9 {
+		t.Errorf("inverted detector AUC = %v", auc)
+	}
+}
+
+func TestConfusionMatrixAndDerived(t *testing.T) {
+	ss := syntheticSamples()
+	m := Confusion(perfectDetector{}, ss)
+	if m.TP != 5 || m.TN != 5 || m.FP != 0 || m.FN != 0 {
+		t.Fatalf("confusion = %+v", m)
+	}
+	if m.Precision() != 1 || m.Recall() != 1 || m.F1() != 1 {
+		t.Errorf("perfect detector metrics: P=%v R=%v F1=%v", m.Precision(), m.Recall(), m.F1())
+	}
+	var zero ConfusionMatrix
+	if zero.Precision() != 0 || zero.Recall() != 0 || zero.F1() != 0 {
+		t.Error("zero matrix metrics not zero")
+	}
+}

@@ -1,0 +1,55 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAdversarialTrainingSuppressionIsWeak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("AT probe in -short mode")
+	}
+	s := quickSuite(t)
+	res, err := s.RunAdversarialTraining()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper reports classic AT suppressing MPass by <10 points. On this
+	// substrate AT is *stronger* (a documented deviation, EXPERIMENTS.md):
+	// with a small synthetic corpus the retrained conv can memorize the
+	// stub/key artifact distribution. The test pins the probe's mechanics
+	// — a meaningful baseline and a finite, reported suppression — rather
+	// than the paper's exact magnitude.
+	if res.BaselineASR < 50 {
+		t.Fatalf("baseline ASR %.1f too low for the probe to be meaningful", res.BaselineASR)
+	}
+	if res.ATASR < 0 || res.ATASR > res.BaselineASR {
+		t.Errorf("nonsensical AT result: %.1f -> %.1f", res.BaselineASR, res.ATASR)
+	}
+	// Hardened model must stay usable on clean data.
+	if res.CleanAccAfter < 80 {
+		t.Errorf("clean accuracy collapsed to %.1f%% after AT", res.CleanAccAfter)
+	}
+	out := RenderAT("probe", res)
+	if !strings.Contains(out, "suppression") {
+		t.Error("RenderAT output malformed")
+	}
+}
+
+func TestGradientATProbeDoesNotHelp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("AT probe in -short mode")
+	}
+	s := quickSuite(t)
+	res, err := s.RunGradientATProbe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uniform byte noise is out-of-distribution for real function-preserving
+	// AEs; it must suppress far less than training on genuine MPass AEs —
+	// the paper's §VI contrast.
+	if res.ATASR < res.BaselineASR/2 {
+		t.Errorf("noise-AT suppressed ASR from %.1f to %.1f; expected little effect",
+			res.BaselineASR, res.ATASR)
+	}
+}

@@ -1,0 +1,138 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Metric selects which grid quantity a table renders.
+type Metric int
+
+// The three Table I–III quantities.
+const (
+	MetricASR Metric = iota
+	MetricAVQ
+	MetricAPR
+)
+
+func (m Metric) String() string {
+	switch m {
+	case MetricASR:
+		return "ASR (%)"
+	case MetricAVQ:
+		return "AVQ"
+	case MetricAPR:
+		return "APR (%)"
+	}
+	return "?"
+}
+
+func (m Metric) of(c *Cell) float64 {
+	switch m {
+	case MetricASR:
+		return c.ASR()
+	case MetricAVQ:
+		return c.AVQ()
+	case MetricAPR:
+		return c.APR()
+	}
+	return 0
+}
+
+// RenderTable renders the grid as a fixed-width text table with targets as
+// rows and attacks as columns — the layout of the paper's Tables I–VI.
+func (g *Grid) RenderTable(title string, m Metric) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", title, m)
+	width := 10
+	fmt.Fprintf(&b, "%-10s", "Target")
+	for _, atk := range g.Attacks {
+		fmt.Fprintf(&b, "%*s", width, atk)
+	}
+	b.WriteByte('\n')
+	b.WriteString(strings.Repeat("-", 10+width*len(g.Attacks)))
+	b.WriteByte('\n')
+	for _, tgt := range g.Targets {
+		fmt.Fprintf(&b, "%-10s", tgt)
+		for _, atk := range g.Attacks {
+			c := g.Cell(atk, tgt)
+			if c == nil {
+				fmt.Fprintf(&b, "%*s", width, "-")
+				continue
+			}
+			fmt.Fprintf(&b, "%*.1f", width, m.of(c))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderFunctionality renders the §IV-A verification result.
+func RenderFunctionality(reports []FunctionalityReport) string {
+	var b strings.Builder
+	b.WriteString("Functionality-preserving check (sandbox trace equality)\n")
+	fmt.Fprintf(&b, "%-10s%12s%10s%10s\n", "Attack", "preserved %", "ok", "broken")
+	b.WriteString(strings.Repeat("-", 42))
+	b.WriteByte('\n')
+	for _, r := range reports {
+		fmt.Fprintf(&b, "%-10s%12.1f%10d%10d\n", r.Attack, r.Rate(), r.Preserved, r.Broken)
+	}
+	return b.String()
+}
+
+// RenderCurves renders Figure-4-style bypass-rate series.
+func RenderCurves(title string, curves LearningCurves) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — bypass rate (%%) per learning round\n", title)
+	names := make([]string, 0, len(curves))
+	for n := range curves {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	rounds := 0
+	for _, n := range names {
+		if len(curves[n]) > rounds {
+			rounds = len(curves[n])
+		}
+	}
+	fmt.Fprintf(&b, "%-10s", "Attack")
+	for r := 0; r < rounds; r++ {
+		fmt.Fprintf(&b, "%8s", fmt.Sprintf("wk%d", r))
+	}
+	b.WriteByte('\n')
+	b.WriteString(strings.Repeat("-", 10+8*rounds))
+	b.WriteByte('\n')
+	for _, n := range names {
+		fmt.Fprintf(&b, "%-10s", n)
+		for _, v := range curves[n] {
+			fmt.Fprintf(&b, "%8.1f", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderPEM renders the §III-B explainability finding.
+func RenderPEM(r *PEMRanking) string {
+	var b strings.Builder
+	b.WriteString("PEM (Algorithm 1) — per-model mean section Shapley values\n")
+	names := make([]string, 0, len(r.Result.PerModel))
+	for n := range r.Result.PerModel {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "%-10s", n)
+		for i, sc := range r.Result.PerModel[n] {
+			if i >= 5 {
+				break
+			}
+			fmt.Fprintf(&b, "  %s=%.4f", sc.Section, sc.Value)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "common critical sections S~: %v\n", r.Result.Critical)
+	fmt.Fprintf(&b, "rank-2 / rank-3 Shapley ratio: %.2fx (paper reports 1.3-6.0x)\n", r.Top2OverTop3)
+	return b.String()
+}

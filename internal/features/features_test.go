@@ -1,0 +1,124 @@
+package features
+
+import (
+	"math"
+	"testing"
+
+	"mpass/internal/corpus"
+)
+
+func TestDimIsStable(t *testing.T) {
+	g := corpus.NewGenerator(1)
+	for _, fam := range []corpus.Family{corpus.Benign, corpus.Malware} {
+		v := Extract(g.Sample(fam).Raw)
+		if len(v) != Dim {
+			t.Fatalf("%s: dim %d, want %d", fam, len(v), Dim)
+		}
+	}
+}
+
+func TestExtractOnGarbageStillWorks(t *testing.T) {
+	v := Extract([]byte("definitely not a PE file"))
+	if len(v) != Dim {
+		t.Fatalf("dim %d, want %d", len(v), Dim)
+	}
+	for i, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			t.Fatalf("feature %d is %v", i, x)
+		}
+	}
+}
+
+func TestExtractOnEmptyInput(t *testing.T) {
+	v := Extract(nil)
+	if len(v) != Dim {
+		t.Fatalf("dim %d, want %d", len(v), Dim)
+	}
+}
+
+func TestFamiliesSeparateOnImportFeatures(t *testing.T) {
+	g := corpus.NewGenerator(2)
+	// The hashed import buckets occupy the vector tail. Malware imports
+	// both benign and sensitive APIs, so its total bucket mass is larger.
+	mass := func(v []float64) float64 {
+		var s float64
+		for _, x := range v[Dim-importDim:] {
+			s += x
+		}
+		return s
+	}
+	var malSum, benSum float64
+	for i := 0; i < 10; i++ {
+		malSum += mass(Extract(g.Sample(corpus.Malware).Raw))
+		benSum += mass(Extract(g.Sample(corpus.Benign).Raw))
+	}
+	if malSum <= benSum {
+		t.Errorf("import bucket mass: malware %v <= benign %v", malSum, benSum)
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	if e := Entropy(nil); e != 0 {
+		t.Errorf("Entropy(nil) = %v", e)
+	}
+	if e := Entropy([]byte{7, 7, 7, 7}); e != 0 {
+		t.Errorf("constant entropy = %v, want 0", e)
+	}
+	uniform := make([]byte, 256)
+	for i := range uniform {
+		uniform[i] = byte(i)
+	}
+	if e := Entropy(uniform); math.Abs(e-8) > 1e-9 {
+		t.Errorf("uniform entropy = %v, want 8", e)
+	}
+	two := []byte{0, 1, 0, 1}
+	if e := Entropy(two); math.Abs(e-1) > 1e-9 {
+		t.Errorf("two-symbol entropy = %v, want 1", e)
+	}
+}
+
+func TestByteHistogramNormalized(t *testing.T) {
+	v := byteHistogram([]byte{0, 1, 2, 3, 255})
+	var sum float64
+	for _, x := range v {
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("histogram sums to %v", sum)
+	}
+	if v[0] != 0.8 { // bytes 0..3 fall in bin 0
+		t.Errorf("bin 0 = %v, want 0.8", v[0])
+	}
+	if v[63] != 0.2 {
+		t.Errorf("bin 63 = %v, want 0.2", v[63])
+	}
+}
+
+func TestEntropyHistogramShortInput(t *testing.T) {
+	v := entropyHistogram([]byte{1, 2, 3})
+	var sum float64
+	for _, x := range v {
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("short-input entropy histogram sums to %v", sum)
+	}
+}
+
+func TestStringFeaturesPopulated(t *testing.T) {
+	g := corpus.NewGenerator(3)
+	base := Dim - importDim - stringDim
+	v := Extract(g.Sample(corpus.Malware).Raw)
+	var mass float64
+	for _, x := range v[base : base+stringDim] {
+		mass += x
+	}
+	if mass <= 0 {
+		t.Error("string feature block empty for a string-bearing sample")
+	}
+	// No-strings input zeroes the aggregates and sets the flag.
+	nv := Extract([]byte{0, 1, 2, 3})
+	if nv[base+4] != 1 { // boolTo01(nStrings == 0)
+		t.Errorf("no-strings flag = %v", nv[base+4])
+	}
+}

@@ -1,0 +1,151 @@
+package gbdt
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// xorData is a non-linearly-separable problem a depth-2+ tree ensemble must
+// solve but a linear model cannot.
+func xorData(rng *rand.Rand, n int) ([][]float64, []float64) {
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		a := rng.Float64()
+		b := rng.Float64()
+		xs[i] = []float64{a, b, rng.Float64()} // third feature is noise
+		if (a > 0.5) != (b > 0.5) {
+			ys[i] = 1
+		}
+	}
+	return xs, ys
+}
+
+func TestTrainLearnsXOR(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs, ys := xorData(rng, 400)
+	e, err := Train(xs, ys, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	txs, tys := xorData(rand.New(rand.NewSource(2)), 200)
+	correct := 0
+	for i, x := range txs {
+		if (e.Predict(x) > 0.5) == (tys[i] > 0.5) {
+			correct++
+		}
+	}
+	if correct < 180 {
+		t.Errorf("XOR accuracy %d/200", correct)
+	}
+}
+
+func TestPredictInUnitInterval(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs, ys := xorData(rng, 100)
+	e, err := Train(xs, ys, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range xs {
+		p := e.Predict(x)
+		if p < 0 || p > 1 {
+			t.Fatalf("Predict = %v", p)
+		}
+	}
+}
+
+func TestTrainInputValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   [][]float64
+		ys   []float64
+		cfg  Config
+	}{
+		{"empty", nil, nil, DefaultConfig()},
+		{"length mismatch", [][]float64{{1}}, []float64{1, 0}, DefaultConfig()},
+		{"ragged", [][]float64{{1, 2}, {1}}, []float64{1, 0}, DefaultConfig()},
+		{"bad config", [][]float64{{1}, {2}}, []float64{1, 0}, Config{}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Train(tc.xs, tc.ys, tc.cfg); err == nil {
+				t.Error("Train accepted invalid input")
+			}
+		})
+	}
+}
+
+func TestLogitDimMismatchPanics(t *testing.T) {
+	xs := [][]float64{{0, 0}, {1, 1}, {0, 1}, {1, 0}}
+	ys := []float64{0, 0, 1, 1}
+	e, err := Train(xs, ys, Config{Trees: 5, MaxDepth: 2, LearningRate: 0.3, MinLeaf: 1, Lambda: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Logit accepted wrong dimension")
+		}
+	}()
+	e.Logit([]float64{1})
+}
+
+func TestPureLeafOnConstantLabels(t *testing.T) {
+	xs := [][]float64{{1}, {2}, {3}, {4}}
+	ys := []float64{1, 1, 1, 1}
+	e, err := Train(xs, ys, Config{Trees: 10, MaxDepth: 3, LearningRate: 0.3, MinLeaf: 1, Lambda: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range xs {
+		if p := e.Predict(x); p < 0.9 {
+			t.Errorf("constant-label prediction = %v, want ~1", p)
+		}
+	}
+}
+
+func TestMinLeafRespected(t *testing.T) {
+	// With MinLeaf equal to the dataset size, no split is possible: the
+	// model must reduce to bias + constant leaves and predict the base rate.
+	xs := [][]float64{{0}, {1}, {2}, {3}}
+	ys := []float64{0, 0, 1, 1}
+	e, err := Train(xs, ys, Config{Trees: 20, MaxDepth: 3, LearningRate: 0.3, MinLeaf: 4, Lambda: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, p3 := e.Predict(xs[0]), e.Predict(xs[3])
+	if p0 != p3 {
+		t.Errorf("unsplittable data produced distinct predictions %v vs %v", p0, p3)
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	xs, ys := xorData(rng, 120)
+	e1, err := Train(xs, ys, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Train(xs, ys, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range xs[:10] {
+		if e1.Predict(x) != e2.Predict(x) {
+			t.Fatal("training is nondeterministic")
+		}
+	}
+}
+
+func TestDimAccessor(t *testing.T) {
+	xs := [][]float64{{0, 1, 2}, {3, 4, 5}}
+	ys := []float64{0, 1}
+	e, err := Train(xs, ys, Config{Trees: 2, MaxDepth: 1, LearningRate: 0.3, MinLeaf: 1, Lambda: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Dim() != 3 {
+		t.Errorf("Dim = %d, want 3", e.Dim())
+	}
+}

@@ -1,0 +1,60 @@
+// Package nn is a from-scratch micro neural-network framework sized for the
+// paper's byte-level detectors: gated 1-D convolutions over byte embeddings
+// (the MalConv architecture family) and a small GRU byte language model
+// (used by the MalRNN baseline). It provides exactly what the MPass attack
+// needs and nothing more: forward scoring, backprop training with Adam, and
+// gradients with respect to the embedded input sequence — the quantity
+// Eq. 3 of the paper differentiates when optimizing perturbations.
+package nn
+
+import (
+	"math"
+
+	"mpass/internal/tensor"
+)
+
+// Adam implements the Adam optimizer over a fixed list of parameter
+// slices. The paper's optimization (§IV-A) uses Adam with learning rate
+// 0.01; training uses the conventional 1e-3 default.
+type Adam struct {
+	LR          float64
+	Beta1       float64
+	Beta2       float64
+	Eps         float64
+	WeightDecay float64
+
+	t    int
+	m, v []tensor.Vec
+}
+
+// NewAdam returns an Adam optimizer with standard moment coefficients.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step applies one update: params[i] -= lr * mhat/(sqrt(vhat)+eps), using
+// grads[i] as the gradient of the loss w.r.t. params[i]. The first call
+// fixes the parameter shapes; later calls must pass identical shapes.
+func (a *Adam) Step(params, grads []tensor.Vec) {
+	if a.m == nil {
+		a.m = make([]tensor.Vec, len(params))
+		a.v = make([]tensor.Vec, len(params))
+		for i, p := range params {
+			a.m[i] = tensor.NewVec(len(p))
+			a.v[i] = tensor.NewVec(len(p))
+		}
+	}
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i, p := range params {
+		g := grads[i]
+		m, v := a.m[i], a.v[i]
+		for j := range p {
+			gj := g[j] + a.WeightDecay*p[j]
+			m[j] = a.Beta1*m[j] + (1-a.Beta1)*gj
+			v[j] = a.Beta2*v[j] + (1-a.Beta2)*gj*gj
+			p[j] -= a.LR * (m[j] / c1) / (math.Sqrt(v[j]/c2) + a.Eps)
+		}
+	}
+}

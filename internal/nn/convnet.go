@@ -1,0 +1,361 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mpass/internal/tensor"
+)
+
+// ConvConfig parameterizes a gated byte-convolution classifier.
+//
+// The detectors instantiated from this one architecture:
+//
+//   - MalConv (Raff et al.): one gated conv block, direct dense head.
+//   - NonNeg (Fleshman et al.): same, with the head weights constrained
+//     non-negative after every optimizer step.
+//   - MalGCG stand-in (Raff et al. 2021): wider receptive field plus a
+//     hidden layer, approximating the deeper constant-memory model.
+type ConvConfig struct {
+	SeqLen   int  // input length in bytes (truncate/zero-pad)
+	EmbedDim int  // byte embedding dimensionality
+	Kernel   int  // convolution window, in bytes
+	Stride   int  // convolution stride, in bytes
+	Filters  int  // number of gated filters
+	Hidden   int  // hidden dense units; 0 = logistic head directly on pool
+	NonNeg   bool // clamp head weights >= 0 after each step
+	Seed     int64
+}
+
+// Validate reports configuration errors early.
+func (c ConvConfig) Validate() error {
+	switch {
+	case c.SeqLen <= 0 || c.EmbedDim <= 0 || c.Filters <= 0:
+		return fmt.Errorf("nn: non-positive dimension in %+v", c)
+	case c.Kernel <= 0 || c.Stride <= 0:
+		return fmt.Errorf("nn: non-positive kernel/stride in %+v", c)
+	case c.Kernel > c.SeqLen:
+		return fmt.Errorf("nn: kernel %d exceeds sequence %d", c.Kernel, c.SeqLen)
+	}
+	return nil
+}
+
+// positions returns the number of convolution windows.
+func (c ConvConfig) positions() int { return (c.SeqLen-c.Kernel)/c.Stride + 1 }
+
+// ConvNet is a gated 1-D convolutional byte classifier with max-over-time
+// pooling — the MalConv architecture.
+type ConvNet struct {
+	Cfg ConvConfig
+
+	Embed        *tensor.Mat // 256 × D byte embeddings
+	ConvW, GateW *tensor.Mat // F × K·D
+	ConvB, GateB tensor.Vec  // F
+	HidW         *tensor.Mat // H × F (nil when Hidden == 0)
+	HidB         tensor.Vec  // H
+	OutW         tensor.Vec  // H (or F when no hidden layer)
+	OutB         tensor.Vec  // 1
+
+	// gradient accumulators, parallel to the parameters above
+	gEmbed, gConvW, gGateW *tensor.Mat
+	gConvB, gGateB         tensor.Vec
+	gHidW                  *tensor.Mat
+	gHidB, gOutW, gOutB    tensor.Vec
+}
+
+// NewConvNet builds and randomly initializes the network.
+func NewConvNet(cfg ConvConfig) (*ConvNet, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	kd := cfg.Kernel * cfg.EmbedDim
+	n := &ConvNet{
+		Cfg:    cfg,
+		Embed:  tensor.NewMat(256, cfg.EmbedDim),
+		ConvW:  tensor.NewMat(cfg.Filters, kd),
+		GateW:  tensor.NewMat(cfg.Filters, kd),
+		ConvB:  tensor.NewVec(cfg.Filters),
+		GateB:  tensor.NewVec(cfg.Filters),
+		OutB:   tensor.NewVec(1),
+		gEmbed: tensor.NewMat(256, cfg.EmbedDim),
+		gConvW: tensor.NewMat(cfg.Filters, kd),
+		gGateW: tensor.NewMat(cfg.Filters, kd),
+		gConvB: tensor.NewVec(cfg.Filters),
+		gGateB: tensor.NewVec(cfg.Filters),
+		gOutB:  tensor.NewVec(1),
+	}
+	n.Embed.XavierInit(rng)
+	n.ConvW.XavierInit(rng)
+	n.GateW.XavierInit(rng)
+	if cfg.Hidden > 0 {
+		n.HidW = tensor.NewMat(cfg.Hidden, cfg.Filters)
+		n.HidW.HeInit(rng)
+		n.HidB = tensor.NewVec(cfg.Hidden)
+		n.OutW = tensor.NewVec(cfg.Hidden)
+		n.gHidW = tensor.NewMat(cfg.Hidden, cfg.Filters)
+		n.gHidB = tensor.NewVec(cfg.Hidden)
+	} else {
+		n.OutW = tensor.NewVec(cfg.Filters)
+	}
+	lim := math.Sqrt(6.0 / float64(len(n.OutW)+1))
+	for i := range n.OutW {
+		n.OutW[i] = (rng.Float64()*2 - 1) * lim
+	}
+	n.gOutW = tensor.NewVec(len(n.OutW))
+	return n, nil
+}
+
+// params and grads expose the trainable state in a fixed order for Adam.
+func (n *ConvNet) params() []tensor.Vec {
+	ps := []tensor.Vec{n.Embed.Data, n.ConvW.Data, n.GateW.Data, n.ConvB, n.GateB, n.OutW, n.OutB}
+	if n.HidW != nil {
+		ps = append(ps, n.HidW.Data, n.HidB)
+	}
+	return ps
+}
+
+func (n *ConvNet) grads() []tensor.Vec {
+	gs := []tensor.Vec{n.gEmbed.Data, n.gConvW.Data, n.gGateW.Data, n.gConvB, n.gGateB, n.gOutW, n.gOutB}
+	if n.HidW != nil {
+		gs = append(gs, n.gHidW.Data, n.gHidB)
+	}
+	return gs
+}
+
+func (n *ConvNet) zeroGrads() {
+	for _, g := range n.grads() {
+		g.Zero()
+	}
+}
+
+// pad truncates or zero-pads raw bytes to SeqLen. The zero byte doubles as
+// the padding symbol, as in MalConv.
+func (n *ConvNet) pad(b []byte) []byte {
+	L := n.Cfg.SeqLen
+	if len(b) >= L {
+		return b[:L]
+	}
+	out := make([]byte, L)
+	copy(out, b)
+	return out
+}
+
+// cache holds the forward intermediates needed for one backward pass.
+type cache struct {
+	x      []byte     // padded input
+	argmax []int      // per filter: window index of the max activation
+	cVal   tensor.Vec // conv pre-activation at argmax
+	gVal   tensor.Vec // gate pre-activation at argmax
+	pooled tensor.Vec
+	hidden tensor.Vec // post-ReLU (nil without hidden layer)
+	logit  float64
+	score  float64
+}
+
+// gather writes the embedded window at byte offset pos into w.
+func (n *ConvNet) gather(x []byte, pos int, w tensor.Vec) {
+	d := n.Cfg.EmbedDim
+	for j := 0; j < n.Cfg.Kernel; j++ {
+		row := n.Embed.Row(int(x[pos+j]))
+		copy(w[j*d:(j+1)*d], row)
+	}
+}
+
+// forward runs the full network, returning a backward-ready cache.
+func (n *ConvNet) forward(raw []byte) *cache {
+	cfg := n.Cfg
+	x := n.pad(raw)
+	T := cfg.positions()
+	F := cfg.Filters
+	c := &cache{
+		x:      x,
+		argmax: make([]int, F),
+		cVal:   tensor.NewVec(F),
+		gVal:   tensor.NewVec(F),
+		pooled: tensor.NewVec(F),
+	}
+	best := make(tensor.Vec, F)
+	for f := range best {
+		best[f] = math.Inf(-1)
+	}
+	w := tensor.NewVec(cfg.Kernel * cfg.EmbedDim)
+	for t := 0; t < T; t++ {
+		n.gather(x, t*cfg.Stride, w)
+		for f := 0; f < F; f++ {
+			cv := tensor.Dot(n.ConvW.Row(f), w) + n.ConvB[f]
+			gv := tensor.Dot(n.GateW.Row(f), w) + n.GateB[f]
+			h := cv * tensor.Sigmoid(gv)
+			if h > best[f] {
+				best[f] = h
+				c.argmax[f] = t
+				c.cVal[f] = cv
+				c.gVal[f] = gv
+			}
+		}
+	}
+	copy(c.pooled, best)
+
+	if n.HidW != nil {
+		c.hidden = n.HidW.MatVec(c.pooled)
+		for i := range c.hidden {
+			c.hidden[i] += n.HidB[i]
+			if c.hidden[i] < 0 {
+				c.hidden[i] = 0
+			}
+		}
+		c.logit = tensor.Dot(n.OutW, c.hidden) + n.OutB[0]
+	} else {
+		c.logit = tensor.Dot(n.OutW, c.pooled) + n.OutB[0]
+	}
+	c.score = tensor.Sigmoid(c.logit)
+	return c
+}
+
+// Predict returns the malware probability for raw bytes.
+func (n *ConvNet) Predict(raw []byte) float64 { return n.forward(raw).score }
+
+// backward accumulates parameter gradients for one example with label y.
+// When inGrad is non-nil (length SeqLen*EmbedDim) it also accumulates the
+// gradient of the loss with respect to the embedded input.
+func (n *ConvNet) backward(c *cache, y float64, inGrad tensor.Vec) {
+	cfg := n.Cfg
+	delta := c.score - y // dLoss/dlogit for BCE + sigmoid
+
+	var dPooled tensor.Vec
+	if n.HidW != nil {
+		n.gOutB[0] += delta
+		tensor.Axpy(delta, c.hidden, n.gOutW)
+		dHid := tensor.NewVec(cfg.Hidden)
+		for i := range dHid {
+			if c.hidden[i] > 0 {
+				dHid[i] = delta * n.OutW[i]
+			}
+		}
+		dPooled = tensor.NewVec(cfg.Filters)
+		for i := 0; i < cfg.Hidden; i++ {
+			if dHid[i] == 0 {
+				continue
+			}
+			tensor.Axpy(dHid[i], c.pooled, n.gHidW.Row(i))
+			n.gHidB[i] += dHid[i]
+			tensor.Axpy(dHid[i], n.HidW.Row(i), dPooled)
+		}
+	} else {
+		n.gOutB[0] += delta
+		tensor.Axpy(delta, c.pooled, n.gOutW)
+		dPooled = tensor.NewVec(cfg.Filters)
+		tensor.Axpy(delta, n.OutW, dPooled)
+	}
+
+	w := tensor.NewVec(cfg.Kernel * cfg.EmbedDim)
+	d := cfg.EmbedDim
+	for f := 0; f < cfg.Filters; f++ {
+		if dPooled[f] == 0 {
+			continue
+		}
+		t := c.argmax[f]
+		pos := t * cfg.Stride
+		n.gather(c.x, pos, w)
+		sg := tensor.Sigmoid(c.gVal[f])
+		dc := dPooled[f] * sg
+		dg := dPooled[f] * c.cVal[f] * sg * (1 - sg)
+		tensor.Axpy(dc, w, n.gConvW.Row(f))
+		tensor.Axpy(dg, w, n.gGateW.Row(f))
+		n.gConvB[f] += dc
+		n.gGateB[f] += dg
+		// Gradient w.r.t. the embedded window: dc*ConvW + dg*GateW, routed
+		// both into the embedding table (training) and, when requested,
+		// into the dense input-gradient buffer (attack).
+		cw, gw := n.ConvW.Row(f), n.GateW.Row(f)
+		for j := 0; j < cfg.Kernel; j++ {
+			b := int(c.x[pos+j])
+			erow := n.gEmbed.Row(b)
+			for k := 0; k < d; k++ {
+				g := dc*cw[j*d+k] + dg*gw[j*d+k]
+				erow[k] += g
+				if inGrad != nil {
+					inGrad[(pos+j)*d+k] += g
+				}
+			}
+		}
+	}
+}
+
+// TrainBatch performs one optimizer step on a minibatch and returns the
+// mean BCE loss. Labels are 1 for malware, 0 for benign.
+func (n *ConvNet) TrainBatch(batch [][]byte, labels []float64, opt *Adam) float64 {
+	if len(batch) != len(labels) {
+		panic("nn: batch/label length mismatch")
+	}
+	n.zeroGrads()
+	var loss float64
+	for i, raw := range batch {
+		c := n.forward(raw)
+		loss += tensor.BCE(c.score, labels[i])
+		n.backward(c, labels[i], nil)
+	}
+	inv := 1 / float64(len(batch))
+	for _, g := range n.grads() {
+		g.Scale(inv)
+	}
+	opt.Step(n.params(), n.grads())
+	if n.Cfg.NonNeg {
+		n.clampNonNeg()
+	}
+	return loss * inv
+}
+
+// clampNonNeg enforces the NonNeg-network constraint on the classification
+// head: appended content can then only raise the malware score, never wash
+// it out (Fleshman et al.).
+func (n *ConvNet) clampNonNeg() {
+	for i, v := range n.OutW {
+		if v < 0 {
+			n.OutW[i] = 0
+		}
+	}
+	if n.HidW != nil {
+		for i, v := range n.HidW.Data {
+			if v < 0 {
+				n.HidW.Data[i] = 0
+			}
+		}
+	}
+}
+
+// InputGrad holds the gradient of the loss with respect to the embedded
+// input sequence — the continuous object the paper's Eq. 3 optimizes.
+type InputGrad struct {
+	Grad  tensor.Vec // SeqLen × EmbedDim, row-major by byte position
+	Loss  float64
+	Score float64
+}
+
+// InputGradient computes dBCE(f(x), target)/d embed(x). target is the class
+// the attacker steers toward: 0 (benign) for evasion.
+func (n *ConvNet) InputGradient(raw []byte, target float64) *InputGrad {
+	c := n.forward(raw)
+	ig := &InputGrad{
+		Grad:  tensor.NewVec(n.Cfg.SeqLen * n.Cfg.EmbedDim),
+		Loss:  tensor.BCE(c.score, target),
+		Score: c.score,
+	}
+	// backward also accumulates into parameter grad buffers; zero them
+	// first and discard afterwards so training state is unaffected.
+	n.zeroGrads()
+	n.backward(c, target, ig.Grad)
+	n.zeroGrads()
+	return ig
+}
+
+// EmbedRow returns byte b's embedding vector (aliasing internal storage;
+// callers must not modify it).
+func (n *ConvNet) EmbedRow(b byte) tensor.Vec { return n.Embed.Row(int(b)) }
+
+// SeqLen returns the model's input window in bytes.
+func (n *ConvNet) SeqLen() int { return n.Cfg.SeqLen }
+
+// EmbedDim returns the embedding dimensionality.
+func (n *ConvNet) EmbedDim() int { return n.Cfg.EmbedDim }

@@ -1,0 +1,238 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mpass/internal/tensor"
+)
+
+func tinyConfig() ConvConfig {
+	return ConvConfig{
+		SeqLen: 128, EmbedDim: 4, Kernel: 8, Stride: 8, Filters: 6, Seed: 1,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []ConvConfig{
+		{},
+		{SeqLen: 10, EmbedDim: 2, Kernel: 0, Stride: 1, Filters: 1},
+		{SeqLen: 10, EmbedDim: 2, Kernel: 16, Stride: 1, Filters: 1},
+		{SeqLen: 10, EmbedDim: 2, Kernel: 2, Stride: 0, Filters: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := NewConvNet(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	if _, err := NewConvNet(tinyConfig()); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestPredictInUnitInterval(t *testing.T) {
+	n, _ := NewConvNet(tinyConfig())
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 10; i++ {
+		b := make([]byte, rng.Intn(300))
+		rng.Read(b)
+		p := n.Predict(b)
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			t.Fatalf("Predict = %v", p)
+		}
+	}
+}
+
+func TestDeterministicInit(t *testing.T) {
+	a, _ := NewConvNet(tinyConfig())
+	b, _ := NewConvNet(tinyConfig())
+	in := []byte("some input bytes for the model....")
+	if a.Predict(in) != b.Predict(in) {
+		t.Error("same seed gives different models")
+	}
+	cfg := tinyConfig()
+	cfg.Seed = 99
+	c, _ := NewConvNet(cfg)
+	if a.Predict(in) == c.Predict(in) {
+		t.Error("different seeds give identical models")
+	}
+}
+
+// synthetic two-class byte data: class 1 contains the marker pattern at an
+// aligned offset, class 0 does not.
+func markerData(rng *rand.Rand, n int) ([][]byte, []float64) {
+	marker := []byte{0x1D, 0, 0, 0, 0x84, 0x03, 0, 0}
+	xs := make([][]byte, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		b := make([]byte, 128)
+		for j := range b {
+			b[j] = byte(rng.Intn(64))
+		}
+		if i%2 == 0 {
+			at := 8 * rng.Intn(10)
+			copy(b[at:], marker)
+			ys[i] = 1
+		}
+		xs[i] = b
+	}
+	return xs, ys
+}
+
+func TestTrainingLearnsMarker(t *testing.T) {
+	n, _ := NewConvNet(tinyConfig())
+	rng := rand.New(rand.NewSource(3))
+	xs, ys := markerData(rng, 60)
+	opt := NewAdam(0.01)
+	var last float64
+	for epoch := 0; epoch < 30; epoch++ {
+		last = n.TrainBatch(xs, ys, opt)
+	}
+	if last > 0.2 {
+		t.Fatalf("training loss stuck at %v", last)
+	}
+	// Held-out check.
+	txs, tys := markerData(rand.New(rand.NewSource(17)), 30)
+	correct := 0
+	for i, x := range txs {
+		p := n.Predict(x)
+		if (p > 0.5) == (tys[i] > 0.5) {
+			correct++
+		}
+	}
+	if correct < 27 {
+		t.Errorf("held-out accuracy %d/30", correct)
+	}
+}
+
+func TestNonNegConstraint(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.NonNeg = true
+	cfg.Hidden = 5
+	n, _ := NewConvNet(cfg)
+	rng := rand.New(rand.NewSource(4))
+	xs, ys := markerData(rng, 40)
+	opt := NewAdam(0.01)
+	for epoch := 0; epoch < 10; epoch++ {
+		n.TrainBatch(xs, ys, opt)
+	}
+	for _, v := range n.OutW {
+		if v < 0 {
+			t.Fatalf("OutW has negative weight %v under NonNeg", v)
+		}
+	}
+	for _, v := range n.HidW.Data {
+		if v < 0 {
+			t.Fatalf("HidW has negative weight %v under NonNeg", v)
+		}
+	}
+}
+
+func TestHiddenLayerVariantTrains(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Hidden = 8
+	cfg.Kernel = 16
+	cfg.Stride = 16
+	n, _ := NewConvNet(cfg)
+	rng := rand.New(rand.NewSource(5))
+	xs, ys := markerData(rng, 60)
+	opt := NewAdam(0.01)
+	var last float64
+	for epoch := 0; epoch < 40; epoch++ {
+		last = n.TrainBatch(xs, ys, opt)
+	}
+	if last > 0.25 {
+		t.Errorf("hidden-layer variant loss stuck at %v", last)
+	}
+}
+
+// TestInputGradientNumeric verifies the analytic embedding-space gradient
+// against central differences — the correctness anchor for the whole
+// optimization attack (Eq. 3).
+func TestInputGradientNumeric(t *testing.T) {
+	cfg := ConvConfig{SeqLen: 32, EmbedDim: 3, Kernel: 4, Stride: 4, Filters: 4, Seed: 7}
+	n, _ := NewConvNet(cfg)
+	rng := rand.New(rand.NewSource(8))
+	x := make([]byte, 32)
+	rng.Read(x)
+
+	ig := n.InputGradient(x, 0)
+
+	// Numeric: perturb one embedding-table entry used by a specific byte
+	// position and compare to the analytic input gradient at that slot.
+	// Because forward embeds x through the table, nudging Embed[x[pos]][k]
+	// shifts every position holding that byte; to isolate one slot, pick a
+	// byte value occurring exactly once.
+	count := map[byte]int{}
+	for _, b := range x {
+		count[b]++
+	}
+	var pos int = -1
+	for i, b := range x {
+		if count[b] == 1 {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		t.Skip("no unique byte in random input")
+	}
+	bVal := int(x[pos])
+	const h = 1e-5
+	for k := 0; k < cfg.EmbedDim; k++ {
+		orig := n.Embed.At(bVal, k)
+		n.Embed.Set(bVal, k, orig+h)
+		lp := tensor.BCE(n.Predict(x), 0)
+		n.Embed.Set(bVal, k, orig-h)
+		lm := tensor.BCE(n.Predict(x), 0)
+		n.Embed.Set(bVal, k, orig)
+		num := (lp - lm) / (2 * h)
+		ana := ig.Grad[pos*cfg.EmbedDim+k]
+		if math.Abs(num-ana) > 1e-4*(1+math.Abs(num)) {
+			t.Errorf("grad[%d,%d]: numeric %v vs analytic %v", pos, k, num, ana)
+		}
+	}
+}
+
+func TestInputGradientDoesNotPerturbTraining(t *testing.T) {
+	n, _ := NewConvNet(tinyConfig())
+	x := make([]byte, 64)
+	before := n.Predict(x)
+	n.InputGradient(x, 0)
+	if n.Predict(x) != before {
+		t.Error("InputGradient mutated model parameters")
+	}
+	// And gradient buffers are left zeroed for the next TrainBatch.
+	for _, g := range n.grads() {
+		for _, v := range g {
+			if v != 0 {
+				t.Fatal("InputGradient left dirty gradient buffers")
+			}
+		}
+	}
+}
+
+func TestPadTruncates(t *testing.T) {
+	n, _ := NewConvNet(tinyConfig())
+	long := make([]byte, 1000)
+	for i := range long {
+		long[i] = byte(i)
+	}
+	if got := len(n.pad(long)); got != 128 {
+		t.Errorf("pad kept %d bytes, want 128", got)
+	}
+	if got := len(n.pad([]byte{1})); got != 128 {
+		t.Errorf("pad gave %d bytes, want 128", got)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	n, _ := NewConvNet(tinyConfig())
+	if n.SeqLen() != 128 || n.EmbedDim() != 4 {
+		t.Error("accessor mismatch")
+	}
+	if len(n.EmbedRow(7)) != 4 {
+		t.Error("EmbedRow length mismatch")
+	}
+}

@@ -1,0 +1,313 @@
+// Package packer implements the three obfuscators the paper compares MPass
+// against in Table IV: UPX, PESpin, and ASPack. Each is simulated as a
+// working runtime packer for the VISA-32/PE substrate:
+//
+//   - UPX: RLE-compresses the code and data sections into a "UPX1" blob
+//     section and prepends a fixed decompression stub;
+//   - PESpin: encrypts code/data in place with a rolling XOR stream and
+//     prepends a fixed decryption stub;
+//   - ASPack: encrypts code/data in place with a position-keyed additive
+//     cipher and prepends its own fixed stub.
+//
+// All three preserve functionality (verified against internal/sandbox),
+// but — unlike MPass — their stubs are *fixed instruction sequences* and
+// their transforms push section entropy toward the packed-file profile.
+// That is exactly why they underperform in Table IV: they change bytes
+// without any notion of what the target models look at.
+package packer
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mpass/internal/pefile"
+	"mpass/internal/visa"
+)
+
+// Packer transforms a PE image into a packed, functionality-equivalent one.
+type Packer interface {
+	Name() string
+	Pack(original []byte, rng *rand.Rand) ([]byte, error)
+}
+
+// All returns the three obfuscators in the paper's Table IV order.
+func All() []Packer {
+	return []Packer{NewUPX(), NewPESpin(), NewASPack()}
+}
+
+// region is one section selected for packing.
+type region struct {
+	section *pefile.Section
+	va      uint32
+	n       int
+}
+
+// packableRegions selects code + initialized-data sections, the content a
+// real packer transforms.
+func packableRegions(f *pefile.File) []region {
+	var out []region
+	for _, s := range f.Sections {
+		if (s.IsCode() || s.Characteristics&pefile.SecInitializedData != 0) && len(s.Data) > 0 {
+			out = append(out, region{section: s, va: s.VirtualAddress, n: len(s.Data)})
+		}
+	}
+	return out
+}
+
+// UPX is the RLE-compressing packer simulator.
+type UPX struct{}
+
+// NewUPX returns the UPX simulator.
+func NewUPX() *UPX { return &UPX{} }
+
+// Name implements Packer.
+func (*UPX) Name() string { return "UPX" }
+
+// rleEncode compresses b as (count, value) pairs, count in [1,255].
+func rleEncode(b []byte) []byte {
+	var out []byte
+	for i := 0; i < len(b); {
+		j := i
+		for j < len(b) && b[j] == b[i] && j-i < 255 {
+			j++
+		}
+		out = append(out, byte(j-i), b[i])
+		i = j
+	}
+	return out
+}
+
+// Pack implements Packer.
+func (u *UPX) Pack(original []byte, rng *rand.Rand) ([]byte, error) {
+	f, err := pefile.Parse(original)
+	if err != nil {
+		return nil, fmt.Errorf("upx: %w", err)
+	}
+	regs := packableRegions(f)
+	if len(regs) == 0 {
+		return nil, fmt.Errorf("upx: nothing to pack")
+	}
+	origEntry := f.Optional.AddressOfEntryPoint
+
+	// Compress every region into one blob; zero the originals (UPX0-style).
+	var blob []byte
+	blobOffsets := make([]int, len(regs))
+	for i, r := range regs {
+		blobOffsets[i] = len(blob)
+		blob = append(blob, rleEncode(r.section.Data)...)
+		for j := range r.section.Data {
+			r.section.Data[j] = 0
+		}
+	}
+
+	// The stub section layout: [stub code][blob]. Two-pass assembly sizes
+	// the code first.
+	stubVA := f.NextVirtualAddress()
+	asmStub := func(codeLen int) []byte {
+		var a visa.Assembler
+		blobBase := int32(stubVA) + int32(codeLen)
+		for i, r := range regs {
+			a.Movi(1, blobBase+int32(blobOffsets[i])) // src
+			a.Movi(2, int32(r.va))                    // dst
+			a.Movi(3, int32(r.n))                     // remaining
+			loop := fmt.Sprintf("r%d_loop", i)
+			fill := fmt.Sprintf("r%d_fill", i)
+			done := fmt.Sprintf("r%d_done", i)
+			a.Label(loop)
+			a.Jz(3, done)
+			a.Loadb(4, 1, 0) // count
+			a.Loadb(5, 1, 1) // value
+			a.Addi(1, 2)
+			a.Label(fill)
+			a.Storeb(5, 2, 0)
+			a.Addi(2, 1)
+			a.Subi(3, 1)
+			a.Subi(4, 1)
+			a.Jnz(4, fill)
+			a.Jmp(loop)
+			a.Label(done)
+		}
+		// Jump to the original entry (relative, patched via label trick:
+		// emit a JMP whose displacement we fix below).
+		a.Emit(visa.Inst{Op: visa.JMP}) // placeholder
+		code := a.MustAssemble()
+		// Patch the final JMP: it sits at the end of the code.
+		at := len(code) - visa.Size
+		jmp := visa.Inst{Op: visa.JMP, Imm: int32(origEntry) - (int32(stubVA) + int32(at) + visa.Size)}
+		jmp.Encode(code[at:])
+		return code
+	}
+	probe := asmStub(0)
+	code := asmStub(len(probe))
+	if len(code) != len(probe) {
+		return nil, fmt.Errorf("upx: stub sizing mismatch")
+	}
+
+	// The real tool normally leaves its telltale UPX0/UPX1 pair, but
+	// renamed builds circulate; a minority of packed files carry generic
+	// names, which is what slips past name-based AV heuristics.
+	blobName, shellName := "UPX1", "UPX0"
+	if rng.Intn(5) == 0 {
+		blobName, shellName = "MEW1", "MEW0"
+	}
+	if _, err := f.AddSection(blobName, append(code, blob...), pefile.SecCharacteristicsText|pefile.SecMemWrite); err != nil {
+		return nil, err
+	}
+	regs[0].section.Name = shellName
+	f.SetEntryPoint(stubVA)
+	return f.Bytes(), nil
+}
+
+// streamPacker factors the two in-place encryption packers.
+type streamPacker struct {
+	name     string
+	stubName string
+	altName  string // less-telltale name a minority of builds use
+}
+
+// pickName returns the stub section name for one packed file.
+func (p streamPacker) pickName(rng *rand.Rand) string {
+	if p.altName != "" && rng.Intn(5) == 0 {
+		return p.altName
+	}
+	return p.stubName
+}
+
+// PESpin is the rolling-XOR encrypting packer simulator.
+type PESpin struct{ streamPacker }
+
+// NewPESpin returns the PESpin simulator.
+func NewPESpin() *PESpin {
+	return &PESpin{streamPacker{name: "PESpin", stubName: ".pspin", altName: ".spin"}}
+}
+
+// Name implements Packer.
+func (p *PESpin) Name() string { return p.name }
+
+// Pack implements Packer. The key stream evolves as k ← k + 4k + 17
+// (mod 2³²); byte i is XORed with the low key byte.
+func (p *PESpin) Pack(original []byte, rng *rand.Rand) ([]byte, error) {
+	f, err := pefile.Parse(original)
+	if err != nil {
+		return nil, fmt.Errorf("pespin: %w", err)
+	}
+	regs := packableRegions(f)
+	if len(regs) == 0 {
+		return nil, fmt.Errorf("pespin: nothing to pack")
+	}
+	origEntry := f.Optional.AddressOfEntryPoint
+	key := rng.Uint32() | 1
+
+	// Encrypt in place.
+	for _, r := range regs {
+		k := key
+		for i := range r.section.Data {
+			r.section.Data[i] ^= byte(k)
+			k = k + (k << 2) + 17
+		}
+	}
+
+	stubVA := f.NextVirtualAddress()
+	var a visa.Assembler
+	for i, r := range regs {
+		a.Movi(1, int32(r.va))
+		a.Movi(3, int32(r.n))
+		a.Movi(4, int32(key))
+		loop := fmt.Sprintf("r%d", i)
+		a.Label(loop)
+		a.Loadb(5, 1, 0)
+		a.Mov(6, 4)
+		a.Andi(6, 0xFF)
+		a.Xor(5, 6)
+		a.Storeb(5, 1, 0)
+		// k = k + (k<<2) + 17
+		a.Mov(6, 4)
+		a.Shli(6, 2)
+		a.Add(4, 6)
+		a.Addi(4, 17)
+		a.Addi(1, 1)
+		a.Subi(3, 1)
+		a.Jnz(3, loop)
+	}
+	code := finishStub(&a, stubVA, origEntry)
+	if _, err := f.AddSection(p.pickName(rng), code, pefile.SecCharacteristicsText|pefile.SecMemWrite); err != nil {
+		return nil, err
+	}
+	f.SetEntryPoint(stubVA)
+	return f.Bytes(), nil
+}
+
+// ASPack is the additive-cipher packer simulator.
+type ASPack struct{ streamPacker }
+
+// NewASPack returns the ASPack simulator.
+func NewASPack() *ASPack {
+	return &ASPack{streamPacker{name: "ASPack", stubName: ".aspack", altName: ".apack"}}
+}
+
+// Name implements Packer.
+func (p *ASPack) Name() string { return p.name }
+
+// Pack implements Packer. Byte i of each region is stored as
+// x + 13·i + c (mod 256) with a random per-file constant c.
+func (p *ASPack) Pack(original []byte, rng *rand.Rand) ([]byte, error) {
+	f, err := pefile.Parse(original)
+	if err != nil {
+		return nil, fmt.Errorf("aspack: %w", err)
+	}
+	regs := packableRegions(f)
+	if len(regs) == 0 {
+		return nil, fmt.Errorf("aspack: nothing to pack")
+	}
+	origEntry := f.Optional.AddressOfEntryPoint
+	c := byte(rng.Intn(256))
+
+	for _, r := range regs {
+		for i := range r.section.Data {
+			r.section.Data[i] += byte(13*i) + c
+		}
+	}
+
+	stubVA := f.NextVirtualAddress()
+	var a visa.Assembler
+	for ri, r := range regs {
+		a.Movi(1, int32(r.va))
+		a.Movi(3, int32(r.n))
+		a.Movi(6, 0) // i
+		loop := fmt.Sprintf("r%d", ri)
+		a.Label(loop)
+		a.Loadb(5, 1, 0)
+		// R7 = 13*i + c = 8i + 4i + i + c
+		a.Mov(7, 6)
+		a.Shli(7, 3)
+		a.Mov(4, 6)
+		a.Shli(4, 2)
+		a.Add(7, 4)
+		a.Add(7, 6)
+		a.Addi(7, int32(c))
+		a.Sub(5, 7)
+		a.Andi(5, 0xFF)
+		a.Storeb(5, 1, 0)
+		a.Addi(1, 1)
+		a.Addi(6, 1)
+		a.Subi(3, 1)
+		a.Jnz(3, loop)
+	}
+	code := finishStub(&a, stubVA, origEntry)
+	if _, err := f.AddSection(p.pickName(rng), code, pefile.SecCharacteristicsText|pefile.SecMemWrite); err != nil {
+		return nil, err
+	}
+	f.SetEntryPoint(stubVA)
+	return f.Bytes(), nil
+}
+
+// finishStub appends the jump back to the original entry point and patches
+// its displacement for the stub's final position.
+func finishStub(a *visa.Assembler, stubVA, origEntry uint32) []byte {
+	a.Emit(visa.Inst{Op: visa.JMP}) // placeholder
+	code := a.MustAssemble()
+	at := len(code) - visa.Size
+	jmp := visa.Inst{Op: visa.JMP, Imm: int32(origEntry) - (int32(stubVA) + int32(at) + visa.Size)}
+	jmp.Encode(code[at:])
+	return code
+}

@@ -1,0 +1,165 @@
+package packer
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"mpass/internal/corpus"
+	"mpass/internal/features"
+	"mpass/internal/pefile"
+	"mpass/internal/sandbox"
+)
+
+func victim(t *testing.T, seed int64) []byte {
+	t.Helper()
+	return corpus.NewGenerator(seed).Sample(corpus.Malware).Raw
+}
+
+func TestAllPackersPreserveBehaviour(t *testing.T) {
+	for _, p := range All() {
+		t.Run(p.Name(), func(t *testing.T) {
+			for seed := int64(1); seed <= 5; seed++ {
+				orig := victim(t, seed)
+				rng := rand.New(rand.NewSource(seed))
+				packed, err := p.Pack(orig, rng)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				ok, err := sandbox.BehaviourPreserved(orig, packed)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if !ok {
+					t.Errorf("seed %d: behaviour broken", seed)
+				}
+			}
+		})
+	}
+}
+
+func TestPackedBytesDiffer(t *testing.T) {
+	orig := victim(t, 7)
+	for _, p := range All() {
+		t.Run(p.Name(), func(t *testing.T) {
+			packed, err := p.Pack(orig, rand.New(rand.NewSource(1)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bytes.Equal(packed, orig) {
+				t.Error("packing changed nothing")
+			}
+			f, err := pefile.Parse(packed)
+			if err != nil {
+				t.Fatalf("packed output is not a valid PE: %v", err)
+			}
+			if f.EntrySection() == nil {
+				t.Error("packed entry point unmapped")
+			}
+		})
+	}
+}
+
+func TestUPXSignatureSections(t *testing.T) {
+	packed, err := NewUPX().Pack(victim(t, 8), rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := pefile.Parse(packed)
+	if f.SectionByName("UPX0") == nil || f.SectionByName("UPX1") == nil {
+		t.Error("UPX0/UPX1 section pair missing")
+	}
+	// The packed original section is zeroed.
+	u0 := f.SectionByName("UPX0")
+	for _, b := range u0.Data {
+		if b != 0 {
+			t.Fatal("UPX0 not zeroed")
+		}
+	}
+}
+
+func TestEncryptingPackersRaiseCodeEntropy(t *testing.T) {
+	orig := victim(t, 9)
+	of, _ := pefile.Parse(orig)
+	origEnt := features.Entropy(of.SectionByName(".text").Data)
+	for _, p := range []Packer{NewPESpin(), NewASPack()} {
+		t.Run(p.Name(), func(t *testing.T) {
+			packed, err := p.Pack(orig, rand.New(rand.NewSource(3)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			pf, _ := pefile.Parse(packed)
+			ent := features.Entropy(pf.SectionByName(".text").Data)
+			if ent <= origEnt {
+				t.Errorf("packed .text entropy %.2f <= original %.2f", ent, origEnt)
+			}
+		})
+	}
+}
+
+func TestPackersShareFixedStubAcrossSamples(t *testing.T) {
+	// The stub opcode sequence must be identical across different inputs —
+	// the learnable fixed pattern that distinguishes packers from MPass.
+	p := NewPESpin()
+	stub := func(seed int64) []byte {
+		packed, err := p.Pack(victim(t, seed), rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, _ := pefile.Parse(packed)
+		s := f.SectionByName(".pspin")
+		if s == nil {
+			t.Fatal("no stub section")
+		}
+		// Compare opcode bytes only (immediates hold per-file constants).
+		ops := make([]byte, 0, len(s.Data)/8)
+		for off := 0; off+8 <= len(s.Data); off += 8 {
+			ops = append(ops, s.Data[off])
+		}
+		return ops
+	}
+	a, b := stub(10), stub(11)
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	diff := 0
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			diff++
+		}
+	}
+	if diff > n/10 {
+		t.Errorf("stub opcode streams differ in %d/%d positions; expected a fixed pattern", diff, n)
+	}
+}
+
+func TestRLERoundTrip(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1},
+		{0, 0, 0, 0},
+		bytes.Repeat([]byte{7}, 1000),
+		{1, 2, 3, 4, 5},
+	}
+	for _, c := range cases {
+		enc := rleEncode(c)
+		var dec []byte
+		for i := 0; i+1 < len(enc); i += 2 {
+			for k := 0; k < int(enc[i]); k++ {
+				dec = append(dec, enc[i+1])
+			}
+		}
+		if !bytes.Equal(dec, c) {
+			t.Errorf("RLE round trip failed for %v", c)
+		}
+	}
+}
+
+func TestPackRejectsGarbage(t *testing.T) {
+	for _, p := range All() {
+		if _, err := p.Pack([]byte("not a pe"), rand.New(rand.NewSource(1))); err == nil {
+			t.Errorf("%s accepted garbage", p.Name())
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package pefile
+
+import (
+	"testing"
+)
+
+func TestChecksumDeterministicAndSensitive(t *testing.T) {
+	f := buildSample(t)
+	raw, err := f.StampChecksum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Optional.CheckSum == 0 {
+		t.Fatal("checksum not stamped")
+	}
+	// Recomputing over the stamped file with the field zeroed reproduces
+	// the stored value.
+	cs, err := Checksum(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs != g.Optional.CheckSum {
+		t.Errorf("recomputed %#x != stored %#x", cs, g.Optional.CheckSum)
+	}
+	// Flipping any content byte changes the checksum.
+	raw2 := append([]byte(nil), raw...)
+	raw2[len(raw2)-1] ^= 0xFF
+	cs2, err := Checksum(raw2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs2 == cs {
+		t.Error("checksum insensitive to content change")
+	}
+}
+
+func TestChecksumIgnoresStoredField(t *testing.T) {
+	f := buildSample(t)
+	f.Optional.CheckSum = 0
+	a, err := Checksum(f.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Optional.CheckSum = 0xDEADBEEF
+	b, err := Checksum(f.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("checksum depends on its own field: %#x vs %#x", a, b)
+	}
+}
+
+func TestChecksumTruncated(t *testing.T) {
+	if _, err := Checksum([]byte{1, 2}); err == nil {
+		t.Error("short input accepted")
+	}
+	b := make([]byte, 128)
+	b[60] = 0xF0
+	b[61] = 0xFF
+	if _, err := Checksum(b); err == nil {
+		t.Error("out-of-range lfanew accepted")
+	}
+}
+
+func TestValidateCleanImage(t *testing.T) {
+	f := buildSample(t)
+	f.Layout()
+	if issues := f.Validate(); len(issues) != 0 {
+		t.Errorf("clean image has issues: %v", issues)
+	}
+}
+
+func TestValidateDetectsProblems(t *testing.T) {
+	t.Run("entry outside sections", func(t *testing.T) {
+		f := buildSample(t)
+		f.SetEntryPoint(0xFF0000)
+		if len(f.Validate()) == 0 {
+			t.Error("bad entry point not reported")
+		}
+	})
+	t.Run("duplicate names", func(t *testing.T) {
+		f := buildSample(t)
+		if err := f.RenameSection(".data", ".text"); err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, is := range f.Validate() {
+			if is.Section == ".text" && is.Problem != "" {
+				found = true
+			}
+		}
+		if !found {
+			t.Error("duplicate section name not reported")
+		}
+	})
+	t.Run("overlapping VAs", func(t *testing.T) {
+		f := buildSample(t)
+		f.Sections[1].VirtualAddress = f.Sections[0].VirtualAddress
+		if len(f.Validate()) == 0 {
+			t.Error("overlapping sections not reported")
+		}
+	})
+	t.Run("misaligned raw size", func(t *testing.T) {
+		f := buildSample(t)
+		f.Layout()
+		f.Sections[0].SizeOfRawData++
+		if len(f.Validate()) == 0 {
+			t.Error("misaligned raw size not reported")
+		}
+	})
+	t.Run("bad alignment", func(t *testing.T) {
+		f := buildSample(t)
+		f.Optional.FileAlignment = 0x300 // not a power of two
+		if len(f.Validate()) == 0 {
+			t.Error("non-power-of-two alignment not reported")
+		}
+	})
+}
+
+func TestValidationIssueString(t *testing.T) {
+	if got := (ValidationIssue{Problem: "p"}).String(); got != "p" {
+		t.Errorf("file-level issue = %q", got)
+	}
+	if got := (ValidationIssue{Section: ".x", Problem: "p"}).String(); got != ".x: p" {
+		t.Errorf("section issue = %q", got)
+	}
+}

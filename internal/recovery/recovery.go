@@ -1,0 +1,387 @@
+// Package recovery implements the paper's runtime recovery technique
+// (§III-C), the mechanism that lets MPass overwrite code and data sections
+// with arbitrary perturbations while preserving functionality.
+//
+// Build encodes the chosen sections byte-by-byte against attacker-chosen
+// content ("the keys": k = b − x, so x = b − k at runtime), emits a VISA-32
+// recovery stub into a fresh section, and retargets the PE entry point at
+// the stub. When the modified program runs, the stub saves the register
+// context, walks every encoded region subtracting the key stream to restore
+// the original bytes in place, restores the context, and jumps to the
+// original entry point.
+//
+// The shuffle strategy (§III-C "Shuffle strategy") breaks the stub's fixed
+// instruction pattern: the stub's instructions are permuted into random
+// slots separated by attacker-controlled filler gaps, with relative jump
+// instructions inserted to re-chain the original execution order, and every
+// relative displacement re-patched for its new position.
+package recovery
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"mpass/internal/pefile"
+	"mpass/internal/visa"
+)
+
+// FillFunc supplies n bytes of initial perturbation content for the named
+// target section (typically sliced from a benign donor program, matched by
+// section class so code sections receive code-like bytes). The stub
+// section's own filler gaps request content with section name "".
+type FillFunc func(section string, n int) []byte
+
+// ZeroFill is the trivial fill source.
+func ZeroFill(_ string, n int) []byte { return make([]byte, n) }
+
+// Options configures Build.
+type Options struct {
+	// Sections lists the section names to encode. Empty means every code
+	// and initialized-writable-data section — the critical sections PEM
+	// identifies.
+	Sections []string
+	// Fill provides initial content for the encoded regions and the
+	// shuffle gaps. Defaults to ZeroFill.
+	Fill FillFunc
+	// Shuffle enables the instruction-shuffling layout. When false the
+	// stub is laid out sequentially with no gaps (the fixed-pattern
+	// variant the paper's adaptive-AV experiment punishes).
+	Shuffle bool
+	// GapMin/GapMax bound the filler gap sizes between shuffled cells.
+	GapMin, GapMax int
+	// Rng drives the shuffle; required when Shuffle is true.
+	Rng *rand.Rand
+}
+
+// EncodedRegion records one byte range protected by the recovery module.
+type EncodedRegion struct {
+	Section string
+	VA      uint32 // first encoded byte (virtual address)
+	Len     int
+	KeyVA   uint32 // first key byte inside the stub section
+}
+
+// Gap is one attacker-writable filler range inside the stub section.
+type Gap struct {
+	VA  uint32
+	Len int
+}
+
+// Layout describes the recovery construction applied to a file. Virtual
+// addresses are used throughout so the layout stays valid if later
+// mutations (tail sections, overlay) shift raw file offsets.
+type Layout struct {
+	StubSection string
+	KeySection  string
+	StubVA      uint32
+	OrigEntry   uint32
+	Regions     []EncodedRegion
+	Gaps        []Gap
+}
+
+// Errors returned by Build.
+var (
+	ErrNoRegions = errors.New("recovery: no sections to encode")
+	ErrNoRng     = errors.New("recovery: shuffle requested without Rng")
+)
+
+// stubInst is one logical stub instruction plus its branch-target metadata.
+type stubInst struct {
+	in       visa.Inst
+	cellTgt  int    // >= 0: branch targets that cell's start
+	absTgt   uint32 // used when abs is true: branch to this VA
+	abs      bool
+	chainOut bool // needs a chain jump to the next cell when shuffled
+}
+
+// Build applies the recovery construction to f in place and returns the
+// layout. The caller should add any further sections (tail perturbation
+// area) after Build; the layout's VAs remain valid.
+func Build(f *pefile.File, opts Options) (*Layout, error) {
+	if opts.Fill == nil {
+		opts.Fill = ZeroFill
+	}
+	if opts.Shuffle && opts.Rng == nil {
+		return nil, ErrNoRng
+	}
+	if opts.GapMin <= 0 {
+		opts.GapMin = 8
+	}
+	if opts.GapMax < opts.GapMin {
+		opts.GapMax = opts.GapMin + 56
+	}
+
+	sections := opts.Sections
+	if len(sections) == 0 {
+		for _, s := range f.Sections {
+			if s.IsCode() || s.IsData() {
+				sections = append(sections, s.Name)
+			}
+		}
+	}
+	var regions []EncodedRegion
+	totalKeyLen := 0
+	for _, name := range sections {
+		s := f.SectionByName(name)
+		if s == nil {
+			return nil, fmt.Errorf("%w: %q", pefile.ErrNoSuchSection, name)
+		}
+		if len(s.Data) == 0 {
+			continue
+		}
+		regions = append(regions, EncodedRegion{
+			Section: name,
+			VA:      s.VirtualAddress,
+			Len:     len(s.Data),
+		})
+		totalKeyLen += len(s.Data)
+	}
+	if len(regions) == 0 {
+		return nil, ErrNoRegions
+	}
+
+	origEntry := f.Optional.AddressOfEntryPoint
+	stubVA := f.NextVirtualAddress()
+
+	// The stub program length is independent of the constants, so lay out
+	// cells and gaps first, then fill in addresses.
+	prog := stubProgram(regions, origEntry, 0 /* keys base, patched below */)
+
+	order, gaps := layoutOrder(len(prog), opts)
+	cellOff, stubLen := placeCells(prog, order, gaps)
+
+	// The key stream lives in its own non-executable section directly
+	// after the stub (keys are data; packing them into an executable
+	// section would give the image a glaring high-entropy code section).
+	sa := f.Optional.SectionAlignment
+	if sa == 0 {
+		sa = pefile.DefaultSectionAlignment
+	}
+	keysVA := stubVA + (uint32(stubLen)+sa-1)/sa*sa
+	keyVA := keysVA
+	for i := range regions {
+		regions[i].KeyVA = keyVA
+		keyVA += uint32(regions[i].Len)
+	}
+
+	// Regenerate the program with real constants (same shape).
+	prog = stubProgram(regions, origEntry, keysVA)
+
+	// Render the stub section: entry jump, shuffled cells, gaps.
+	data := opts.Fill("", stubLen)
+	if len(data) != stubLen {
+		return nil, fmt.Errorf("recovery: fill returned %d bytes, want %d", len(data), stubLen)
+	}
+	gapsOut := renderCells(data, prog, order, cellOff, gaps, stubVA)
+
+	// Entry jump at section start to cell 0.
+	entry := visa.Inst{Op: visa.JMP, Imm: int32(cellOff[0]) - visa.Size}
+	entry.Encode(data[0:])
+
+	// Encode the regions: keys = fill − original, region bytes = fill.
+	keys := make([]byte, totalKeyLen)
+	keyCursor := 0
+	for _, r := range regions {
+		s := f.SectionByName(r.Section)
+		fill := opts.Fill(r.Section, r.Len)
+		if len(fill) != r.Len {
+			return nil, fmt.Errorf("recovery: fill returned %d bytes, want %d", len(fill), r.Len)
+		}
+		for i := 0; i < r.Len; i++ {
+			keys[keyCursor+i] = fill[i] - s.Data[i]
+			s.Data[i] = fill[i]
+		}
+		keyCursor += r.Len
+	}
+
+	name := stubSectionName(opts.Rng)
+	stub, err := f.AddSection(name, data, pefile.SecCharacteristicsText)
+	if err != nil {
+		return nil, err
+	}
+	if stub.VirtualAddress != stubVA {
+		return nil, fmt.Errorf("recovery: stub VA %#x, expected %#x", stub.VirtualAddress, stubVA)
+	}
+	keyName := stubSectionName(opts.Rng)
+	for keyName == name {
+		keyName = stubSectionName(opts.Rng)
+	}
+	ks, err := f.AddSection(keyName, keys, pefile.SecCharacteristicsRsrc)
+	if err != nil {
+		return nil, err
+	}
+	if ks.VirtualAddress != keysVA {
+		return nil, fmt.Errorf("recovery: key section VA %#x, expected %#x", ks.VirtualAddress, keysVA)
+	}
+	f.SetEntryPoint(stubVA)
+
+	return &Layout{
+		StubSection: name,
+		KeySection:  keyName,
+		StubVA:      stubVA,
+		OrigEntry:   origEntry,
+		Regions:     regions,
+		Gaps:        gapsOut,
+	}, nil
+}
+
+// nameCounter disambiguates deterministic names when no RNG is supplied.
+var nameCounter atomic.Int64
+
+// stubSectionName draws a plausible section name; randomized so the stub
+// section itself is not a constant signature.
+func stubSectionName(rng *rand.Rand) string {
+	if rng == nil {
+		return fmt.Sprintf(".mp%d", nameCounter.Add(1)%100)
+	}
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	b := []byte{'.', 0, 0, 0, 0}
+	for i := 1; i < len(b); i++ {
+		b[i] = letters[rng.Intn(len(letters))]
+	}
+	return string(b)
+}
+
+// stubProgram emits the logical recovery program. keysBase is the VA of the
+// first key byte; region key VAs are consumed in order.
+func stubProgram(regions []EncodedRegion, origEntry uint32, keysBase uint32) []stubInst {
+	var prog []stubInst
+	add := func(in visa.Inst) { prog = append(prog, stubInst{in: in, cellTgt: -1}) }
+
+	add(visa.Inst{Op: visa.PUSHA})
+	keyVA := keysBase
+	for _, r := range regions {
+		add(visa.Inst{Op: visa.MOVI, Ra: 1, Imm: int32(r.VA)})
+		add(visa.Inst{Op: visa.MOVI, Ra: 2, Imm: int32(keyVA)})
+		add(visa.Inst{Op: visa.MOVI, Ra: 3, Imm: int32(r.Len)})
+		loopHead := len(prog)
+		add(visa.Inst{Op: visa.LOADB, Ra: 4, Rb: 1})    // current (= fill byte b)
+		add(visa.Inst{Op: visa.LOADB, Ra: 5, Rb: 2})    // key k
+		add(visa.Inst{Op: visa.SUB, Ra: 4, Rb: 5})      // x = b − k
+		add(visa.Inst{Op: visa.ANDI, Ra: 4, Imm: 0xFF}) // byte wraparound
+		add(visa.Inst{Op: visa.STOREB, Ra: 4, Rb: 1})   // restore
+		add(visa.Inst{Op: visa.ADDI, Ra: 1, Imm: 1})
+		add(visa.Inst{Op: visa.ADDI, Ra: 2, Imm: 1})
+		add(visa.Inst{Op: visa.SUBI, Ra: 3, Imm: 1})
+		prog = append(prog, stubInst{
+			in:      visa.Inst{Op: visa.JNZ, Ra: 3},
+			cellTgt: loopHead,
+		})
+		keyVA += uint32(r.Len)
+	}
+	add(visa.Inst{Op: visa.POPA})
+	prog = append(prog, stubInst{
+		in:  visa.Inst{Op: visa.JMP},
+		abs: true, absTgt: origEntry, cellTgt: -1,
+	})
+
+	// Every cell except the final absolute jump needs a chain jump to the
+	// next cell when cells are permuted.
+	for i := range prog[:len(prog)-1] {
+		prog[i].chainOut = true
+	}
+	return prog
+}
+
+// layoutOrder picks the physical cell order and the gap preceding each
+// physical slot. Without shuffle the order is the identity with no gaps.
+func layoutOrder(n int, opts Options) (order []int, gaps []int) {
+	order = make([]int, n)
+	gaps = make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	if !opts.Shuffle {
+		return order, gaps
+	}
+	opts.Rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+	for i := range gaps {
+		gaps[i] = opts.GapMin + opts.Rng.Intn(opts.GapMax-opts.GapMin+1)
+	}
+	return order, gaps
+}
+
+// placeCells assigns the byte offset of every logical cell within the stub
+// section. Layout: [entry jump][gap?][cell][gap?][cell]...; returns the
+// per-cell offsets (indexed by logical instruction index) and the total
+// length of the cell area.
+func placeCells(prog []stubInst, order []int, gaps []int) (cellOff []int, end int) {
+	cellOff = make([]int, len(prog))
+	off := visa.Size // entry jump occupies [0,8)
+	for phys, logical := range order {
+		off += gaps[phys]
+		cellOff[logical] = off
+		off += visa.Size
+		if prog[logical].chainOut {
+			off += visa.Size // room for the chain jump
+		}
+	}
+	return cellOff, off
+}
+
+// renderCells encodes every cell (instruction + optional chain jump) at its
+// slot, patching relative displacements for the final positions, and
+// returns the writable gap ranges.
+func renderCells(data []byte, prog []stubInst, order []int, cellOff []int, gaps []int, stubVA uint32) []Gap {
+	var out []Gap
+	off := visa.Size
+	for phys, logical := range order {
+		if gaps[phys] > 0 {
+			out = append(out, Gap{VA: stubVA + uint32(off), Len: gaps[phys]})
+		}
+		off += gaps[phys]
+		cell := prog[logical]
+		in := cell.in
+		instVA := stubVA + uint32(cellOff[logical])
+		switch {
+		case cell.abs:
+			in.Imm = int32(cell.absTgt) - int32(instVA) - visa.Size
+		case cell.cellTgt >= 0:
+			in.Imm = int32(cellOff[cell.cellTgt]) - int32(cellOff[logical]) - visa.Size
+		}
+		in.Encode(data[cellOff[logical]:])
+		off += visa.Size
+		if cell.chainOut {
+			nextVA := cellOff[logical+1]
+			chain := visa.Inst{
+				Op:  visa.JMP,
+				Imm: int32(nextVA) - (int32(cellOff[logical]) + visa.Size) - visa.Size,
+			}
+			chain.Encode(data[cellOff[logical]+visa.Size:])
+			off += visa.Size
+		}
+	}
+	return out
+}
+
+// KeyCoupling returns, for every encoded byte, the (byteVA, keyVA) pair —
+// the paper's tuple corpus J realized in virtual addresses.
+func (l *Layout) KeyCoupling() map[uint32]uint32 {
+	out := make(map[uint32]uint32)
+	for _, r := range l.Regions {
+		for i := 0; i < r.Len; i++ {
+			out[r.VA+uint32(i)] = r.KeyVA + uint32(i)
+		}
+	}
+	return out
+}
+
+// TotalEncoded returns the number of protected bytes.
+func (l *Layout) TotalEncoded() int {
+	n := 0
+	for _, r := range l.Regions {
+		n += r.Len
+	}
+	return n
+}
+
+// TotalGapSpace returns the number of writable filler bytes in the stub.
+func (l *Layout) TotalGapSpace() int {
+	n := 0
+	for _, g := range l.Gaps {
+		n += g.Len
+	}
+	return n
+}

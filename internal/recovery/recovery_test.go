@@ -1,0 +1,272 @@
+package recovery
+
+import (
+	"math/rand"
+	"testing"
+
+	"mpass/internal/corpus"
+	"mpass/internal/pefile"
+	"mpass/internal/sandbox"
+)
+
+// buildSample returns a malware sample and its parsed file.
+func buildSample(t *testing.T, seed int64) ([]byte, *pefile.File) {
+	t.Helper()
+	s := corpus.NewGenerator(seed).Sample(corpus.Malware)
+	f, err := pefile.Parse(s.Raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.Raw, f
+}
+
+func TestRecoveryPreservesBehaviourSequential(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		orig, f := buildSample(t, seed)
+		if _, err := Build(f, Options{}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		ok, err := sandbox.BehaviourPreserved(orig, f.Bytes())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !ok {
+			t.Errorf("seed %d: behaviour not preserved without shuffle", seed)
+		}
+	}
+}
+
+func TestRecoveryPreservesBehaviourShuffled(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		orig, f := buildSample(t, seed)
+		rng := rand.New(rand.NewSource(seed * 31))
+		if _, err := Build(f, Options{Shuffle: true, Rng: rng}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		ok, err := sandbox.BehaviourPreserved(orig, f.Bytes())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !ok {
+			t.Errorf("seed %d: behaviour not preserved with shuffle", seed)
+		}
+	}
+}
+
+func TestRecoveryWithBenignFill(t *testing.T) {
+	donor := corpus.NewGenerator(99).Sample(corpus.Benign).Raw
+	cursor := 0
+	fill := func(_ string, n int) []byte {
+		out := make([]byte, n)
+		for i := range out {
+			out[i] = donor[cursor%len(donor)]
+			cursor++
+		}
+		return out
+	}
+	orig, f := buildSample(t, 3)
+	rng := rand.New(rand.NewSource(7))
+	lay, err := Build(f, Options{Shuffle: true, Rng: rng, Fill: fill})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The code section now holds donor content, not the original code.
+	text := f.SectionByName(".text")
+	origF, _ := pefile.Parse(orig)
+	same := 0
+	for i, b := range text.Data {
+		if b == origF.SectionByName(".text").Data[i] {
+			same++
+		}
+	}
+	if same == len(text.Data) {
+		t.Error("code section unchanged by fill")
+	}
+	ok, err := sandbox.BehaviourPreserved(orig, f.Bytes())
+	if err != nil || !ok {
+		t.Errorf("behaviour broken with benign fill: ok=%v err=%v", ok, err)
+	}
+	if lay.TotalEncoded() == 0 {
+		t.Error("no bytes encoded")
+	}
+}
+
+func TestEncodedRegionsCoverCodeAndData(t *testing.T) {
+	_, f := buildSample(t, 4)
+	lay, err := Build(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, r := range lay.Regions {
+		names[r.Section] = true
+	}
+	if !names[".text"] || !names[".data"] {
+		t.Errorf("regions = %v, want .text and .data", names)
+	}
+}
+
+func TestExplicitSectionSelection(t *testing.T) {
+	orig, f := buildSample(t, 5)
+	lay, err := Build(f, Options{Sections: []string{".data"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lay.Regions) != 1 || lay.Regions[0].Section != ".data" {
+		t.Fatalf("regions = %+v", lay.Regions)
+	}
+	ok, err := sandbox.BehaviourPreserved(orig, f.Bytes())
+	if err != nil || !ok {
+		t.Errorf("data-only recovery broken: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	_, f := buildSample(t, 6)
+	if _, err := Build(f, Options{Sections: []string{".absent"}}); err == nil {
+		t.Error("missing section accepted")
+	}
+	if _, err := Build(f, Options{Shuffle: true}); err != ErrNoRng {
+		t.Errorf("shuffle without rng: err = %v", err)
+	}
+	empty := pefile.New()
+	if _, err := Build(empty, Options{}); err != ErrNoRegions {
+		t.Errorf("empty file: err = %v", err)
+	}
+}
+
+func TestGapBytesAreInert(t *testing.T) {
+	// Arbitrary writes into the shuffle gaps must not change behaviour:
+	// they are never executed.
+	orig, f := buildSample(t, 7)
+	rng := rand.New(rand.NewSource(11))
+	lay, err := Build(f, Options{Shuffle: true, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lay.TotalGapSpace() == 0 {
+		t.Fatal("shuffled layout has no gaps")
+	}
+	stub := f.SectionByName(lay.StubSection)
+	for _, g := range lay.Gaps {
+		off := g.VA - stub.VirtualAddress
+		for i := 0; i < g.Len; i++ {
+			stub.Data[off+uint32(i)] = byte(0xC3 + i)
+		}
+	}
+	ok, err := sandbox.BehaviourPreserved(orig, f.Bytes())
+	if err != nil || !ok {
+		t.Errorf("gap writes changed behaviour: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestKeyCoupledMutationPreservesBehaviour(t *testing.T) {
+	// Changing an encoded byte AND adjusting its key by the same delta must
+	// keep behaviour identical — the invariant behind mask matrix M (Eq. 2).
+	orig, f := buildSample(t, 8)
+	rng := rand.New(rand.NewSource(12))
+	lay, err := Build(f, Options{Shuffle: true, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keysec := f.SectionByName(lay.KeySection)
+	coupling := lay.KeyCoupling()
+	text := f.SectionByName(".text")
+	// Mutate 40 code bytes.
+	for i := 0; i < 40; i++ {
+		va := text.VirtualAddress + uint32(i*7%len(text.Data))
+		keyVA, ok := coupling[va]
+		if !ok {
+			t.Fatalf("no key for VA %#x", va)
+		}
+		delta := byte(i + 1)
+		text.Data[va-text.VirtualAddress] += delta
+		keysec.Data[keyVA-keysec.VirtualAddress] += delta
+	}
+	ok, err := sandbox.BehaviourPreserved(orig, f.Bytes())
+	if err != nil || !ok {
+		t.Errorf("key-coupled mutation broke behaviour: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestUncoupledMutationBreaksBehaviour(t *testing.T) {
+	// Changing encoded code bytes WITHOUT the key update must break the
+	// program (recovery restores the wrong bytes).
+	orig, f := buildSample(t, 9)
+	if _, err := Build(f, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	text := f.SectionByName(".text")
+	for i := 0; i < 64 && i < len(text.Data); i++ {
+		text.Data[i] ^= 0x5A
+	}
+	ok, err := sandbox.BehaviourPreserved(orig, f.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("uncoupled code mutation did not change behaviour")
+	}
+}
+
+func TestShuffleChangesStubLayout(t *testing.T) {
+	_, f1 := buildSample(t, 10)
+	_, f2 := buildSample(t, 10)
+	l1, err := Build(f1, Options{Shuffle: true, Rng: rand.New(rand.NewSource(1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Build(f2, Options{Shuffle: true, Rng: rand.New(rand.NewSource(2))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := f1.SectionByName(l1.StubSection)
+	s2 := f2.SectionByName(l2.StubSection)
+	if len(s1.Data) == len(s2.Data) {
+		diff := 0
+		for i := range s1.Data {
+			if s1.Data[i] != s2.Data[i] {
+				diff++
+			}
+		}
+		if diff == 0 {
+			t.Error("two shuffles produced identical stubs")
+		}
+	}
+}
+
+func TestEntryPointRedirected(t *testing.T) {
+	_, f := buildSample(t, 11)
+	before := f.Optional.AddressOfEntryPoint
+	lay, err := Build(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Optional.AddressOfEntryPoint == before {
+		t.Error("entry point unchanged")
+	}
+	if f.Optional.AddressOfEntryPoint != lay.StubVA {
+		t.Errorf("entry = %#x, stub at %#x", f.Optional.AddressOfEntryPoint, lay.StubVA)
+	}
+	if lay.OrigEntry != before {
+		t.Errorf("OrigEntry = %#x, want %#x", lay.OrigEntry, before)
+	}
+}
+
+func TestRoundTripThroughBytes(t *testing.T) {
+	// The modified file must survive serialization + reparse and still run.
+	orig, f := buildSample(t, 12)
+	rng := rand.New(rand.NewSource(13))
+	if _, err := Build(f, Options{Shuffle: true, Rng: rng}); err != nil {
+		t.Fatal(err)
+	}
+	raw := f.Bytes()
+	g, err := pefile.Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := sandbox.BehaviourPreserved(orig, g.Bytes())
+	if err != nil || !ok {
+		t.Errorf("reparsed file broken: ok=%v err=%v", ok, err)
+	}
+}

@@ -1,0 +1,361 @@
+// Package sandbox executes synthetic PE programs and records their API-call
+// traces. It is this repository's substitute for the Cuckoo sandbox the
+// paper uses to verify that adversarial examples preserve the original
+// malware's functionality (§IV-A "Verifying functionality-preserving").
+//
+// A VM maps every section of a PE32 image at its virtual address, starts at
+// the image entry point, and interprets VISA-32 instructions until HALT, an
+// execution fault, or the step budget. Each SYS instruction appends an
+// (API, argument) event to the trace; the trace is the observable behaviour
+// of the program, and two samples are behaviour-equivalent exactly when
+// their traces are equal — the same criterion (API call sequences) the
+// paper applies.
+package sandbox
+
+import (
+	"errors"
+	"fmt"
+
+	"mpass/internal/pefile"
+	"mpass/internal/visa"
+)
+
+// DefaultMaxSteps bounds execution length; synthetic corpus programs run in
+// a few thousand steps, recovery stubs add a few steps per recovered byte.
+const DefaultMaxSteps = 4_000_000
+
+// stackSize is the byte size of the VM's dedicated stack region.
+const stackSize = 64 * 1024
+
+// Event is one API invocation observed at runtime.
+type Event struct {
+	API uint32 // API identifier (the SYS immediate)
+	Arg uint32 // value of R0 at the call
+}
+
+// Trace is the ordered API-call history of one execution.
+type Trace []Event
+
+// Equal reports whether two traces are identical event-for-event.
+func (t Trace) Equal(u Trace) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if t[i] != u[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the trace compactly for test failure messages.
+func (t Trace) String() string {
+	s := "["
+	for i, e := range t {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%d(%#x)", e.API, e.Arg)
+	}
+	return s + "]"
+}
+
+// Fault reasons reported by Run.
+var (
+	ErrSteps     = errors.New("sandbox: step budget exhausted")
+	ErrMemory    = errors.New("sandbox: memory access outside image")
+	ErrStack     = errors.New("sandbox: stack overflow or underflow")
+	ErrDecode    = errors.New("sandbox: instruction decode fault")
+	ErrPC        = errors.New("sandbox: program counter outside image")
+	ErrNoEntry   = errors.New("sandbox: entry point not mapped")
+	ErrTraceSize = errors.New("sandbox: trace length limit exceeded")
+)
+
+// maxTrace caps recorded events so a runaway loop cannot exhaust memory.
+const maxTrace = 1 << 16
+
+// Result summarizes one execution.
+type Result struct {
+	Trace Trace
+	Steps int
+	Err   error // nil on clean HALT
+}
+
+// Halted reports whether the program ran to a clean HALT.
+func (r *Result) Halted() bool { return r.Err == nil }
+
+// VM executes one image. A VM is single-use: construct with New, call Run
+// once, inspect the result.
+type VM struct {
+	mem      []byte // flat image memory indexed by RVA
+	stack    []byte
+	regs     [visa.NumRegs]uint32
+	sp       uint32 // offset into stack, grows upward
+	pc       uint32 // RVA of next instruction
+	maxSteps int
+}
+
+// Option configures a VM.
+type Option func(*VM)
+
+// WithMaxSteps overrides the execution step budget.
+func WithMaxSteps(n int) Option {
+	return func(m *VM) { m.maxSteps = n }
+}
+
+// New builds a VM for the given parsed image. Section data is copied into a
+// flat RVA-indexed memory, so executing a sample never mutates the File.
+func New(f *pefile.File, opts ...Option) (*VM, error) {
+	f.Layout()
+	size := f.Optional.SizeOfImage
+	if size == 0 || size > 1<<28 {
+		return nil, fmt.Errorf("sandbox: unreasonable image size %#x", size)
+	}
+	m := &VM{
+		mem:      make([]byte, size),
+		stack:    make([]byte, stackSize),
+		pc:       f.Optional.AddressOfEntryPoint,
+		maxSteps: DefaultMaxSteps,
+	}
+	for _, s := range f.Sections {
+		end := int(s.VirtualAddress) + len(s.Data)
+		if end > len(m.mem) {
+			return nil, fmt.Errorf("sandbox: section %q extends past image (%#x > %#x)",
+				s.Name, end, len(m.mem))
+		}
+		copy(m.mem[s.VirtualAddress:], s.Data)
+	}
+	if int(m.pc)+visa.Size > len(m.mem) {
+		return nil, fmt.Errorf("%w: entry %#x, image %#x", ErrNoEntry, m.pc, len(m.mem))
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	return m, nil
+}
+
+// Run parses the raw PE bytes and executes them, returning the behaviour
+// trace. It is the one-call convenience used throughout the evaluation.
+func Run(raw []byte, opts ...Option) (*Result, error) {
+	f, err := pefile.Parse(raw)
+	if err != nil {
+		return nil, fmt.Errorf("sandbox: %w", err)
+	}
+	return RunFile(f, opts...)
+}
+
+// RunFile executes an already-parsed image.
+func RunFile(f *pefile.File, opts ...Option) (*Result, error) {
+	m, err := New(f, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return m.Run(), nil
+}
+
+// apiResult is the deterministic value an API call leaves in R0. Subsequent
+// control flow may branch on it, so recovered programs must reproduce API
+// results bit-exactly to keep their traces aligned.
+func apiResult(api, arg uint32) uint32 {
+	x := api*0x9E3779B9 ^ arg*0x85EBCA6B
+	x ^= x >> 13
+	x *= 0xC2B2AE35
+	x ^= x >> 16
+	return x
+}
+
+// Run interprets instructions until HALT, a fault, or the step budget.
+func (m *VM) Run() *Result {
+	res := &Result{}
+	for steps := 0; ; steps++ {
+		if steps >= m.maxSteps {
+			res.Steps = steps
+			res.Err = fmt.Errorf("%w (%d)", ErrSteps, m.maxSteps)
+			return res
+		}
+		if int(m.pc)+visa.Size > len(m.mem) {
+			res.Steps = steps
+			res.Err = fmt.Errorf("%w: pc=%#x", ErrPC, m.pc)
+			return res
+		}
+		in, err := visa.Decode(m.mem[m.pc : m.pc+visa.Size])
+		if err != nil {
+			res.Steps = steps
+			res.Err = fmt.Errorf("%w at %#x: %v", ErrDecode, m.pc, err)
+			return res
+		}
+		next := m.pc + visa.Size
+		m.pc = next
+
+		switch in.Op {
+		case visa.NOP:
+		case visa.HALT:
+			res.Steps = steps + 1
+			return res
+		case visa.MOVI:
+			m.regs[in.Ra] = uint32(in.Imm)
+		case visa.MOV:
+			m.regs[in.Ra] = m.regs[in.Rb]
+		case visa.ADD:
+			m.regs[in.Ra] += m.regs[in.Rb]
+		case visa.ADDI:
+			m.regs[in.Ra] += uint32(in.Imm)
+		case visa.SUB:
+			m.regs[in.Ra] -= m.regs[in.Rb]
+		case visa.SUBI:
+			m.regs[in.Ra] -= uint32(in.Imm)
+		case visa.XOR:
+			m.regs[in.Ra] ^= m.regs[in.Rb]
+		case visa.XORI:
+			m.regs[in.Ra] ^= uint32(in.Imm)
+		case visa.ANDI:
+			m.regs[in.Ra] &= uint32(in.Imm)
+		case visa.ORI:
+			m.regs[in.Ra] |= uint32(in.Imm)
+		case visa.SHLI:
+			m.regs[in.Ra] <<= uint32(in.Imm) & 31
+		case visa.SHRI:
+			m.regs[in.Ra] >>= uint32(in.Imm) & 31
+		case visa.LOADB:
+			addr := m.regs[in.Rb] + uint32(in.Imm)
+			if int(addr) >= len(m.mem) {
+				res.Steps, res.Err = steps, fmt.Errorf("%w: LOADB %#x", ErrMemory, addr)
+				return res
+			}
+			m.regs[in.Ra] = uint32(m.mem[addr])
+		case visa.STOREB:
+			addr := m.regs[in.Rb] + uint32(in.Imm)
+			if int(addr) >= len(m.mem) {
+				res.Steps, res.Err = steps, fmt.Errorf("%w: STOREB %#x", ErrMemory, addr)
+				return res
+			}
+			m.mem[addr] = byte(m.regs[in.Ra])
+		case visa.LOADW:
+			addr := m.regs[in.Rb] + uint32(in.Imm)
+			if int(addr)+4 > len(m.mem) {
+				res.Steps, res.Err = steps, fmt.Errorf("%w: LOADW %#x", ErrMemory, addr)
+				return res
+			}
+			m.regs[in.Ra] = uint32(m.mem[addr]) | uint32(m.mem[addr+1])<<8 |
+				uint32(m.mem[addr+2])<<16 | uint32(m.mem[addr+3])<<24
+		case visa.STOREW:
+			addr := m.regs[in.Rb] + uint32(in.Imm)
+			if int(addr)+4 > len(m.mem) {
+				res.Steps, res.Err = steps, fmt.Errorf("%w: STOREW %#x", ErrMemory, addr)
+				return res
+			}
+			v := m.regs[in.Ra]
+			m.mem[addr] = byte(v)
+			m.mem[addr+1] = byte(v >> 8)
+			m.mem[addr+2] = byte(v >> 16)
+			m.mem[addr+3] = byte(v >> 24)
+		case visa.PUSH:
+			if err := m.push(m.regs[in.Ra]); err != nil {
+				res.Steps, res.Err = steps, err
+				return res
+			}
+		case visa.POP:
+			v, err := m.pop()
+			if err != nil {
+				res.Steps, res.Err = steps, err
+				return res
+			}
+			m.regs[in.Ra] = v
+		case visa.PUSHA:
+			for r := 0; r < visa.NumRegs; r++ {
+				if err := m.push(m.regs[r]); err != nil {
+					res.Steps, res.Err = steps, err
+					return res
+				}
+			}
+		case visa.POPA:
+			for r := visa.NumRegs - 1; r >= 0; r-- {
+				v, err := m.pop()
+				if err != nil {
+					res.Steps, res.Err = steps, err
+					return res
+				}
+				m.regs[r] = v
+			}
+		case visa.JMP:
+			m.pc = next + uint32(in.Imm)
+		case visa.JZ:
+			if m.regs[in.Ra] == 0 {
+				m.pc = next + uint32(in.Imm)
+			}
+		case visa.JNZ:
+			if m.regs[in.Ra] != 0 {
+				m.pc = next + uint32(in.Imm)
+			}
+		case visa.JLT:
+			if m.regs[in.Ra] < m.regs[in.Rb] {
+				m.pc = next + uint32(in.Imm)
+			}
+		case visa.CALL:
+			if err := m.push(next); err != nil {
+				res.Steps, res.Err = steps, err
+				return res
+			}
+			m.pc = next + uint32(in.Imm)
+		case visa.JMPR:
+			m.pc = m.regs[in.Ra]
+		case visa.RET:
+			v, err := m.pop()
+			if err != nil {
+				res.Steps, res.Err = steps, err
+				return res
+			}
+			m.pc = v
+		case visa.SYS:
+			if len(res.Trace) >= maxTrace {
+				res.Steps, res.Err = steps, ErrTraceSize
+				return res
+			}
+			api := uint32(in.Imm)
+			arg := m.regs[0]
+			res.Trace = append(res.Trace, Event{API: api, Arg: arg})
+			m.regs[0] = apiResult(api, arg)
+		}
+	}
+}
+
+func (m *VM) push(v uint32) error {
+	if int(m.sp)+4 > len(m.stack) {
+		return fmt.Errorf("%w: push at sp=%#x", ErrStack, m.sp)
+	}
+	m.stack[m.sp] = byte(v)
+	m.stack[m.sp+1] = byte(v >> 8)
+	m.stack[m.sp+2] = byte(v >> 16)
+	m.stack[m.sp+3] = byte(v >> 24)
+	m.sp += 4
+	return nil
+}
+
+func (m *VM) pop() (uint32, error) {
+	if m.sp < 4 {
+		return 0, fmt.Errorf("%w: pop at sp=%#x", ErrStack, m.sp)
+	}
+	m.sp -= 4
+	v := uint32(m.stack[m.sp]) | uint32(m.stack[m.sp+1])<<8 |
+		uint32(m.stack[m.sp+2])<<16 | uint32(m.stack[m.sp+3])<<24
+	return v, nil
+}
+
+// BehaviourPreserved runs both images and reports whether the modified one
+// halts cleanly with a trace identical to the original's. This is the
+// functionality-preservation check applied to every AE in the evaluation.
+func BehaviourPreserved(original, modified []byte, opts ...Option) (bool, error) {
+	ro, err := Run(original, opts...)
+	if err != nil {
+		return false, fmt.Errorf("original: %w", err)
+	}
+	if !ro.Halted() {
+		return false, fmt.Errorf("original did not halt: %w", ro.Err)
+	}
+	rm, err := Run(modified, opts...)
+	if err != nil || !rm.Halted() {
+		return false, nil
+	}
+	return ro.Trace.Equal(rm.Trace), nil
+}

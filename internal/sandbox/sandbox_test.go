@@ -1,0 +1,337 @@
+package sandbox
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"mpass/internal/pefile"
+	"mpass/internal/visa"
+)
+
+// image wraps code (and optional data) in a minimal PE for execution.
+func image(t *testing.T, code []byte, data []byte) *pefile.File {
+	t.Helper()
+	f := pefile.New()
+	text, err := f.AddSection(".text", code, pefile.SecCharacteristicsText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data != nil {
+		if _, err := f.AddSection(".data", data, pefile.SecCharacteristicsData); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.SetEntryPoint(text.VirtualAddress)
+	return f
+}
+
+func run(t *testing.T, f *pefile.File, opts ...Option) *Result {
+	t.Helper()
+	res, err := RunFile(f, opts...)
+	if err != nil {
+		t.Fatalf("RunFile: %v", err)
+	}
+	return res
+}
+
+func TestHaltStopsExecution(t *testing.T) {
+	var a visa.Assembler
+	a.Halt()
+	res := run(t, image(t, a.MustAssemble(), nil))
+	if !res.Halted() {
+		t.Fatalf("not halted: %v", res.Err)
+	}
+	if res.Steps != 1 {
+		t.Errorf("steps = %d, want 1", res.Steps)
+	}
+}
+
+func TestArithmeticAndTrace(t *testing.T) {
+	var a visa.Assembler
+	a.Movi(0, 40)
+	a.Movi(1, 2)
+	a.Add(0, 1) // R0 = 42
+	a.Sys(7)    // trace (7, 42)
+	a.Halt()
+	res := run(t, image(t, a.MustAssemble(), nil))
+	if !res.Halted() {
+		t.Fatalf("fault: %v", res.Err)
+	}
+	want := Trace{{API: 7, Arg: 42}}
+	if !res.Trace.Equal(want) {
+		t.Errorf("trace = %v, want %v", res.Trace, want)
+	}
+}
+
+func TestLoopCountsDown(t *testing.T) {
+	var a visa.Assembler
+	a.Movi(0, 3)
+	a.Label("loop")
+	a.Sys(1)
+	a.Movi(0, 0) // reset arg; SYS clobbered R0 with the API result
+	a.Addi(0, 1)
+	a.Subi(1, 0) // no-op to vary code
+	a.Subi(0, 1) // R0 = 0
+	a.Addi(2, 1) // R2 counts iterations
+	a.Movi(3, 3)
+	a.Mov(4, 2)
+	a.Sub(4, 3) // R4 = R2 - 3
+	a.Jnz(4, "loop")
+	a.Halt()
+	res := run(t, image(t, a.MustAssemble(), nil))
+	if !res.Halted() {
+		t.Fatalf("fault: %v", res.Err)
+	}
+	if len(res.Trace) != 3 {
+		t.Errorf("loop executed %d times, want 3", len(res.Trace))
+	}
+}
+
+func TestMemoryLoadStore(t *testing.T) {
+	data := []byte{10, 20, 30, 40}
+	f := pefile.New()
+	// Assemble after we know the data VA, so build sections first.
+	text, err := f.AddSection(".text", make([]byte, 0x200), pefile.SecCharacteristicsText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsec, err := f.AddSection(".data", data, pefile.SecCharacteristicsData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a visa.Assembler
+	a.Movi(1, int32(dsec.VirtualAddress))
+	a.Loadb(0, 1, 2) // R0 = data[2] = 30
+	a.Sys(9)
+	a.Movi(0, 0x11223344)
+	a.Storew(0, 1, 0)
+	a.Loadw(2, 1, 0)
+	a.Mov(0, 2)
+	a.Sys(10)
+	a.Halt()
+	copy(text.Data, a.MustAssemble())
+	f.SetEntryPoint(text.VirtualAddress)
+
+	res := run(t, f)
+	if !res.Halted() {
+		t.Fatalf("fault: %v", res.Err)
+	}
+	want := Trace{{API: 9, Arg: 30}, {API: 10, Arg: 0x11223344}}
+	if !res.Trace.Equal(want) {
+		t.Errorf("trace = %v, want %v", res.Trace, want)
+	}
+}
+
+func TestCallRetAndStack(t *testing.T) {
+	var a visa.Assembler
+	a.Movi(0, 5)
+	a.Call("fn")
+	a.Sys(2) // after return, R0 = apiResult from inside fn? No: fn leaves R0+1
+	a.Halt()
+	a.Label("fn")
+	a.Addi(0, 1)
+	a.Ret()
+	res := run(t, image(t, a.MustAssemble(), nil))
+	if !res.Halted() {
+		t.Fatalf("fault: %v", res.Err)
+	}
+	want := Trace{{API: 2, Arg: 6}}
+	if !res.Trace.Equal(want) {
+		t.Errorf("trace = %v, want %v", res.Trace, want)
+	}
+}
+
+func TestPushaPopaRestoresContext(t *testing.T) {
+	var a visa.Assembler
+	a.Movi(0, 111)
+	a.Movi(5, 555)
+	a.Pusha()
+	a.Movi(0, 999) // clobber
+	a.Movi(5, 888)
+	a.Popa()
+	a.Sys(3) // should see 111
+	a.Mov(0, 5)
+	a.Sys(4) // should see 555
+	a.Halt()
+	res := run(t, image(t, a.MustAssemble(), nil))
+	if !res.Halted() {
+		t.Fatalf("fault: %v", res.Err)
+	}
+	want := Trace{{API: 3, Arg: 111}, {API: 4, Arg: 555}}
+	if !res.Trace.Equal(want) {
+		t.Errorf("trace = %v, want %v", res.Trace, want)
+	}
+}
+
+func TestAPIResultFeedsControlFlow(t *testing.T) {
+	// Branch on a bit of the API result; both runs of an identical image
+	// must take the same path (determinism).
+	var a visa.Assembler
+	a.Movi(0, 1)
+	a.Sys(5)
+	a.Andi(0, 1)
+	a.Jz(0, "even")
+	a.Sys(100)
+	a.Jmp("end")
+	a.Label("even")
+	a.Sys(200)
+	a.Label("end")
+	a.Halt()
+	img := image(t, a.MustAssemble(), nil)
+	r1 := run(t, img)
+	r2 := run(t, img)
+	if !r1.Halted() || !r2.Halted() {
+		t.Fatalf("faults: %v / %v", r1.Err, r2.Err)
+	}
+	if !r1.Trace.Equal(r2.Trace) {
+		t.Errorf("nondeterministic traces: %v vs %v", r1.Trace, r2.Trace)
+	}
+	if len(r1.Trace) != 2 {
+		t.Errorf("trace length = %d, want 2", len(r1.Trace))
+	}
+}
+
+func TestSelfModifyingCode(t *testing.T) {
+	// The program overwrites a HALT with a SYS by storing bytes into its own
+	// code section — the capability the recovery module depends on.
+	f := pefile.New()
+	text, err := f.AddSection(".text", make([]byte, 0x200), pefile.SecCharacteristicsText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a visa.Assembler
+	a.Movi(1, int32(text.VirtualAddress)) // base of code
+	// The patch target is instruction index 5 (offset 40): initially HALT.
+	// Overwrite its opcode byte with SYS and its imm with 77.
+	a.Movi(0, int32(visa.SYS))
+	a.Storeb(0, 1, 40)
+	a.Movi(0, 77)
+	a.Storeb(0, 1, 44) // imm low byte
+	a.Halt()           // placeholder at offset 40, gets patched before reach?
+	// Execution order: the five instructions above run first; the patched
+	// instruction at offset 40 is this HALT — but we already executed up to
+	// it. Rebuild: patch a *later* slot instead.
+	code := a.MustAssemble()
+	// Append: after patching, fall through to offset 40 (the patched SYS),
+	// then a real HALT at offset 48.
+	code = code[:40]                                         // drop the placeholder HALT emitted above
+	code = append(code, visa.Inst{Op: visa.HALT}.Bytes()...) // offset 40: patched to SYS 77
+	code = append(code, visa.Inst{Op: visa.HALT}.Bytes()...) // offset 48: final HALT
+	copy(text.Data, code)
+	f.SetEntryPoint(text.VirtualAddress)
+
+	res := run(t, f)
+	if !res.Halted() {
+		t.Fatalf("fault: %v", res.Err)
+	}
+	if len(res.Trace) != 1 || res.Trace[0].API != 77 {
+		t.Errorf("trace = %v, want [77(...)]", res.Trace)
+	}
+}
+
+func TestStepBudgetFault(t *testing.T) {
+	var a visa.Assembler
+	a.Label("spin")
+	a.Jmp("spin")
+	res := run(t, image(t, a.MustAssemble(), nil), WithMaxSteps(100))
+	if res.Halted() {
+		t.Fatal("infinite loop halted cleanly")
+	}
+	if !errors.Is(res.Err, ErrSteps) {
+		t.Errorf("err = %v, want ErrSteps", res.Err)
+	}
+}
+
+func TestMemoryFault(t *testing.T) {
+	var a visa.Assembler
+	a.Movi(1, 0x7FFFFFF0)
+	a.Loadb(0, 1, 0)
+	a.Halt()
+	res := run(t, image(t, a.MustAssemble(), nil))
+	if res.Halted() || !errors.Is(res.Err, ErrMemory) {
+		t.Errorf("err = %v, want ErrMemory", res.Err)
+	}
+}
+
+func TestStackUnderflow(t *testing.T) {
+	var a visa.Assembler
+	a.Pop(0)
+	res := run(t, image(t, a.MustAssemble(), nil))
+	if res.Halted() || !errors.Is(res.Err, ErrStack) {
+		t.Errorf("err = %v, want ErrStack", res.Err)
+	}
+}
+
+func TestDecodeFaultOnGarbageEntry(t *testing.T) {
+	res := run(t, image(t, []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}, nil))
+	if res.Halted() || !errors.Is(res.Err, ErrDecode) {
+		t.Errorf("err = %v, want ErrDecode", res.Err)
+	}
+}
+
+func TestPCOutsideImage(t *testing.T) {
+	var a visa.Assembler
+	a.Movi(0, 0x0FFFFFF8)
+	a.Jmpr(0)
+	res := run(t, image(t, a.MustAssemble(), nil))
+	if res.Halted() || !errors.Is(res.Err, ErrPC) {
+		t.Errorf("err = %v, want ErrPC", res.Err)
+	}
+}
+
+func TestBehaviourPreserved(t *testing.T) {
+	var a visa.Assembler
+	a.Movi(0, 42)
+	a.Sys(11)
+	a.Halt()
+	orig := image(t, a.MustAssemble(), nil).Bytes()
+
+	t.Run("identical", func(t *testing.T) {
+		ok, err := BehaviourPreserved(orig, orig)
+		if err != nil || !ok {
+			t.Errorf("ok=%v err=%v, want true,nil", ok, err)
+		}
+	})
+	t.Run("different trace", func(t *testing.T) {
+		var b visa.Assembler
+		b.Movi(0, 43)
+		b.Sys(11)
+		b.Halt()
+		mod := image(t, b.MustAssemble(), nil).Bytes()
+		ok, err := BehaviourPreserved(orig, mod)
+		if err != nil || ok {
+			t.Errorf("ok=%v err=%v, want false,nil", ok, err)
+		}
+	})
+	t.Run("modified faults", func(t *testing.T) {
+		var b visa.Assembler
+		b.Pop(0)
+		mod := image(t, b.MustAssemble(), nil).Bytes()
+		ok, err := BehaviourPreserved(orig, mod)
+		if err != nil || ok {
+			t.Errorf("ok=%v err=%v, want false,nil", ok, err)
+		}
+	})
+	t.Run("original faults is an error", func(t *testing.T) {
+		var b visa.Assembler
+		b.Pop(0)
+		bad := image(t, b.MustAssemble(), nil).Bytes()
+		if _, err := BehaviourPreserved(bad, orig); err == nil {
+			t.Error("want error when original cannot run")
+		}
+	})
+}
+
+func TestTraceStringAndEqual(t *testing.T) {
+	tr := Trace{{API: 1, Arg: 2}}
+	if !strings.Contains(tr.String(), "1(0x2)") {
+		t.Errorf("String = %q", tr.String())
+	}
+	if tr.Equal(Trace{}) {
+		t.Error("unequal lengths reported equal")
+	}
+	if tr.Equal(Trace{{API: 1, Arg: 3}}) {
+		t.Error("different events reported equal")
+	}
+}

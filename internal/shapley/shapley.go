@@ -1,0 +1,268 @@
+// Package shapley implements the paper's problem-space explainability
+// method (PEM, §III-B): exact section-level Shapley values (Eq. 1) over an
+// ensemble of known detectors, and the Algorithm-1 workflow that averages
+// them across sampled malware, ranks sections per model, and intersects the
+// per-model top-k into the common critical sections.
+//
+// In the problem space a malware sample's "attributes" are its PE sections;
+// f(x_ŝ) is the model's score on the sample with only the sections in ŝ
+// present (absent sections are zeroed in place, keeping structure intact).
+package shapley
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mpass/internal/pefile"
+)
+
+// Model is the minimal detector view PEM needs. detect.Detector satisfies
+// it.
+type Model interface {
+	Name() string
+	Score(raw []byte) float64
+}
+
+// SectionScore pairs a section name with its averaged Shapley value.
+type SectionScore struct {
+	Section string
+	Value   float64
+}
+
+// SectionShapley computes φ_{i,f,x} of Eq. 1 for every section of the
+// sample that appears in secNames. Subset scores are memoized, so the model
+// is evaluated at most 2^n times for n participating sections.
+func SectionShapley(raw []byte, secNames []string, score func([]byte) float64) (map[string]float64, error) {
+	f, err := pefile.Parse(raw)
+	if err != nil {
+		return nil, fmt.Errorf("shapley: %w", err)
+	}
+	want := make(map[string]bool, len(secNames))
+	for _, n := range secNames {
+		want[n] = true
+	}
+	// Participating sections, in table order for determinism.
+	var present []*pefile.Section
+	for _, s := range f.Sections {
+		if want[s.Name] && len(s.Data) > 0 {
+			present = append(present, s)
+		}
+	}
+	n := len(present)
+	if n == 0 {
+		return map[string]float64{}, nil
+	}
+	if n > 16 {
+		return nil, fmt.Errorf("shapley: %d sections exceeds exact-enumeration limit 16", n)
+	}
+
+	// ablated(mask) renders the sample with only the masked sections kept.
+	cacheRaw := make(map[uint32]float64, 1<<n)
+	ablated := func(mask uint32) float64 {
+		if v, ok := cacheRaw[mask]; ok {
+			return v
+		}
+		g := f.Clone()
+		for i, s := range present {
+			if mask&(1<<i) == 0 {
+				t := g.SectionByName(s.Name)
+				for j := range t.Data {
+					t.Data[j] = 0
+				}
+			}
+		}
+		v := score(g.Bytes())
+		cacheRaw[mask] = v
+		return v
+	}
+
+	// Precompute the subset weights |ŝ|!(n−|ŝ|−1)!/n!.
+	fact := make([]float64, n+1)
+	fact[0] = 1
+	for i := 1; i <= n; i++ {
+		fact[i] = fact[i-1] * float64(i)
+	}
+	weight := make([]float64, n)
+	for s := 0; s < n; s++ {
+		weight[s] = fact[s] * fact[n-s-1] / fact[n]
+	}
+
+	out := make(map[string]float64, n)
+	full := uint32(1<<n) - 1
+	for i, sec := range present {
+		bit := uint32(1) << i
+		var phi float64
+		rest := full &^ bit
+		// Enumerate subsets ŝ of the other sections.
+		for sub := uint32(0); ; sub = (sub - rest) & rest {
+			size := popcount(sub)
+			phi += weight[size] * (ablated(sub|bit) - ablated(sub))
+			if sub == rest {
+				break
+			}
+		}
+		out[sec.Name] = phi
+	}
+	return out, nil
+}
+
+func popcount(x uint32) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+// CommonSections returns the topH section names occurring most often across
+// the samples, ties broken lexicographically for determinism.
+func CommonSections(samples [][]byte, topH int) ([]string, error) {
+	counts := make(map[string]int)
+	for i, raw := range samples {
+		f, err := pefile.Parse(raw)
+		if err != nil {
+			return nil, fmt.Errorf("shapley: sample %d: %w", i, err)
+		}
+		for _, s := range f.Sections {
+			if len(s.Data) > 0 {
+				counts[s.Name]++
+			}
+		}
+	}
+	names := make([]string, 0, len(counts))
+	for n := range counts {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(a, b int) bool {
+		if counts[names[a]] != counts[names[b]] {
+			return counts[names[a]] > counts[names[b]]
+		}
+		return names[a] < names[b]
+	})
+	if topH > 0 && len(names) > topH {
+		names = names[:topH]
+	}
+	return names, nil
+}
+
+// Config parameterizes the PEM workflow.
+type Config struct {
+	TopH int // most-common sections considered (paper: 30)
+	TopK int // per-model critical sections kept before intersecting
+}
+
+// DefaultConfig uses the paper's top-30 common-section cap with a top-3
+// per-model cut.
+func DefaultConfig() Config { return Config{TopH: 30, TopK: 3} }
+
+// Result is the output of Algorithm 1.
+type Result struct {
+	// Sections lists the common sections considered (S_all).
+	Sections []string
+	// PerModel maps each model name to its averaged, descending-ranked
+	// section Shapley values (E_f(φ_i)).
+	PerModel map[string][]SectionScore
+	// Critical is the intersection of per-model top-k sections — the
+	// common critical sections S̃, ordered by mean value across models.
+	Critical []string
+}
+
+// PEM runs Algorithm 1: Shapley values per (model, section, sample),
+// averaged over samples, ranked per model, intersected across models.
+func PEM(models []Model, samples [][]byte, cfg Config) (*Result, error) {
+	if len(models) == 0 || len(samples) == 0 {
+		return nil, fmt.Errorf("shapley: need at least one model and one sample")
+	}
+	if cfg.TopH <= 0 {
+		cfg.TopH = 30
+	}
+	if cfg.TopK <= 0 {
+		cfg.TopK = 3
+	}
+	common, err := CommonSections(samples, cfg.TopH)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Sections: common, PerModel: make(map[string][]SectionScore)}
+	inTopK := make(map[string]int) // section -> number of models ranking it top-k
+	meanAcross := make(map[string]float64)
+
+	for _, m := range models {
+		sums := make(map[string]float64, len(common))
+		for _, raw := range samples {
+			phi, err := SectionShapley(raw, common, m.Score)
+			if err != nil {
+				return nil, fmt.Errorf("model %s: %w", m.Name(), err)
+			}
+			for _, name := range common {
+				sums[name] += phi[name] // absent sections contribute 0
+			}
+		}
+		ranked := make([]SectionScore, 0, len(common))
+		for _, name := range common {
+			avg := sums[name] / float64(len(samples))
+			ranked = append(ranked, SectionScore{Section: name, Value: avg})
+			meanAcross[name] += avg / float64(len(models))
+		}
+		sort.Slice(ranked, func(a, b int) bool {
+			if ranked[a].Value != ranked[b].Value {
+				return ranked[a].Value > ranked[b].Value
+			}
+			return ranked[a].Section < ranked[b].Section
+		})
+		res.PerModel[m.Name()] = ranked
+		k := cfg.TopK
+		if k > len(ranked) {
+			k = len(ranked)
+		}
+		for _, sc := range ranked[:k] {
+			inTopK[sc.Section]++
+		}
+	}
+
+	for name, cnt := range inTopK {
+		if cnt == len(models) {
+			res.Critical = append(res.Critical, name)
+		}
+	}
+	sort.Slice(res.Critical, func(a, b int) bool {
+		if meanAcross[res.Critical[a]] != meanAcross[res.Critical[b]] {
+			return meanAcross[res.Critical[a]] > meanAcross[res.Critical[b]]
+		}
+		return res.Critical[a] < res.Critical[b]
+	})
+	return res, nil
+}
+
+// Efficiency returns the Shapley efficiency-axiom residual for one sample:
+// |Σφ_i − (f(x) − f(x_∅))|. Exact computation should make this ~0; tests
+// use it as the correctness property.
+func Efficiency(raw []byte, secNames []string, score func([]byte) float64) (float64, error) {
+	phi, err := SectionShapley(raw, secNames, score)
+	if err != nil {
+		return 0, err
+	}
+	f, err := pefile.Parse(raw)
+	if err != nil {
+		return 0, err
+	}
+	empty := f.Clone()
+	want := make(map[string]bool)
+	for _, n := range secNames {
+		want[n] = true
+	}
+	for _, s := range empty.Sections {
+		if want[s.Name] {
+			for j := range s.Data {
+				s.Data[j] = 0
+			}
+		}
+	}
+	var sum float64
+	for _, v := range phi {
+		sum += v
+	}
+	return math.Abs(sum - (score(f.Bytes()) - score(empty.Bytes()))), nil
+}

@@ -1,0 +1,231 @@
+package shapley
+
+import (
+	"math"
+	"testing"
+
+	"mpass/internal/corpus"
+	"mpass/internal/features"
+	"mpass/internal/pefile"
+)
+
+// sectionMassScore scores a sample by weighted nonzero-byte mass of named
+// sections — a transparent model whose exact Shapley values are easy to
+// reason about.
+func sectionMassScore(weights map[string]float64) func([]byte) float64 {
+	return func(raw []byte) float64 {
+		f, err := pefile.Parse(raw)
+		if err != nil {
+			return 0
+		}
+		var s float64
+		for _, sec := range f.Sections {
+			w := weights[sec.Name]
+			if w == 0 {
+				continue
+			}
+			nz := 0
+			for _, b := range sec.Data {
+				if b != 0 {
+					nz++
+				}
+			}
+			s += w * float64(nz) / float64(len(sec.Data)+1)
+		}
+		return s
+	}
+}
+
+type fakeModel struct {
+	name  string
+	score func([]byte) float64
+}
+
+func (m *fakeModel) Name() string             { return m.name }
+func (m *fakeModel) Score(raw []byte) float64 { return m.score(raw) }
+
+func sample(t *testing.T, seed int64) []byte {
+	t.Helper()
+	return corpus.NewGenerator(seed).Sample(corpus.Malware).Raw
+}
+
+func TestShapleyAdditiveModelExact(t *testing.T) {
+	// For a purely additive model, φ_i must equal section i's own
+	// contribution, independent of the others.
+	raw := sample(t, 1)
+	score := sectionMassScore(map[string]float64{".text": 2, ".data": 1})
+	phi, err := SectionShapley(raw, []string{".text", ".data", ".rdata"}, score)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phi[".text"] <= phi[".data"] {
+		t.Errorf("additive model: phi(.text)=%v <= phi(.data)=%v", phi[".text"], phi[".data"])
+	}
+	if math.Abs(phi[".rdata"]) > 1e-12 {
+		t.Errorf("irrelevant section got phi=%v", phi[".rdata"])
+	}
+}
+
+func TestShapleyEfficiencyAxiom(t *testing.T) {
+	raw := sample(t, 2)
+	scores := []func([]byte) float64{
+		sectionMassScore(map[string]float64{".text": 1, ".data": 3, ".rdata": 0.5}),
+		// A non-additive model: interaction between .text and .data.
+		func(b []byte) float64 {
+			f, err := pefile.Parse(b)
+			if err != nil {
+				return 0
+			}
+			nz := func(name string) float64 {
+				s := f.SectionByName(name)
+				if s == nil {
+					return 0
+				}
+				n := 0
+				for _, x := range s.Data {
+					if x != 0 {
+						n++
+					}
+				}
+				return float64(n) / float64(len(s.Data)+1)
+			}
+			return nz(".text")*nz(".data") + 0.3*nz(".rdata")
+		},
+	}
+	for i, sc := range scores {
+		resid, err := Efficiency(raw, []string{".text", ".data", ".rdata", ".idata"}, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resid > 1e-9 {
+			t.Errorf("score %d: efficiency residual %v", i, resid)
+		}
+	}
+}
+
+func TestShapleySymmetry(t *testing.T) {
+	// Two sections entering the model identically must get equal values.
+	raw := sample(t, 3)
+	score := sectionMassScore(map[string]float64{".text": 1, ".data": 1})
+	f, _ := pefile.Parse(raw)
+	// Force identical content mass so the two are true symmetric players.
+	text := f.SectionByName(".text")
+	data := f.SectionByName(".data")
+	n := len(text.Data)
+	if len(data.Data) < n {
+		n = len(data.Data)
+	}
+	// Rebuild both sections with identical bytes and identical length.
+	text.Data = append([]byte(nil), text.Data[:n]...)
+	data.Data = append([]byte(nil), text.Data...)
+	text.VirtualSize = uint32(n)
+	data.VirtualSize = uint32(n)
+	raw2 := f.Bytes()
+
+	phi, err := SectionShapley(raw2, []string{".text", ".data"}, score)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(phi[".text"]-phi[".data"]) > 1e-9 {
+		t.Errorf("symmetric sections: %v vs %v", phi[".text"], phi[".data"])
+	}
+}
+
+func TestSectionShapleyRejectsGarbage(t *testing.T) {
+	if _, err := SectionShapley([]byte("nope"), []string{".text"}, func([]byte) float64 { return 0 }); err == nil {
+		t.Error("garbage input accepted")
+	}
+}
+
+func TestCommonSections(t *testing.T) {
+	g := corpus.NewGenerator(4)
+	var samples [][]byte
+	for i := 0; i < 8; i++ {
+		samples = append(samples, g.Sample(corpus.Malware).Raw)
+	}
+	names, err := CommonSections(samples, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 3 {
+		t.Fatalf("topH=3 returned %d names", len(names))
+	}
+	// .text/.data/.rdata/.idata are in every sample; .rsrc only sometimes.
+	for _, n := range names {
+		if n == ".rsrc" {
+			t.Error(".rsrc ranked above always-present sections")
+		}
+	}
+}
+
+func TestPEMFindsCodeAndDataCritical(t *testing.T) {
+	// Two synthetic "known models" that (like the trained detectors) react
+	// mostly to code and data content, with different secondary tastes.
+	m1 := &fakeModel{"m1", sectionMassScore(map[string]float64{
+		".text": 3, ".data": 2, ".rdata": 0.3,
+	})}
+	m2 := &fakeModel{"m2", sectionMassScore(map[string]float64{
+		".text": 2.5, ".data": 2.2, ".idata": 0.2,
+	})}
+	g := corpus.NewGenerator(5)
+	var samples [][]byte
+	for i := 0; i < 5; i++ {
+		samples = append(samples, g.Sample(corpus.Malware).Raw)
+	}
+	res, err := PEM([]Model{m1, m2}, samples, Config{TopH: 10, TopK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crit := map[string]bool{}
+	for _, c := range res.Critical {
+		crit[c] = true
+	}
+	if len(res.Critical) != 2 || !crit[".text"] || !crit[".data"] {
+		t.Errorf("Critical = %v, want {.text, .data}", res.Critical)
+	}
+	for _, m := range []string{"m1", "m2"} {
+		ranked := res.PerModel[m]
+		if len(ranked) == 0 {
+			t.Fatalf("no ranking for %s", m)
+		}
+		if top := ranked[0].Section; top != ".text" && top != ".data" {
+			t.Errorf("%s top section = %s, want code or data", m, top)
+		}
+	}
+}
+
+func TestPEMOnRealFeatureModel(t *testing.T) {
+	// Smoke: PEM over a feature-driven score (entropy of data sections)
+	// completes and produces finite values.
+	m := &fakeModel{"ent", func(raw []byte) float64 {
+		f, err := pefile.Parse(raw)
+		if err != nil {
+			return 0
+		}
+		var s float64
+		for _, sec := range f.DataSections() {
+			s += features.Entropy(sec.Data)
+		}
+		return s / 8
+	}}
+	raws := [][]byte{sample(t, 6), sample(t, 7)}
+	res, err := PEM([]Model{m}, raws, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range res.PerModel["ent"] {
+		if math.IsNaN(sc.Value) || math.IsInf(sc.Value, 0) {
+			t.Errorf("section %s value %v", sc.Section, sc.Value)
+		}
+	}
+}
+
+func TestPEMInputValidation(t *testing.T) {
+	if _, err := PEM(nil, [][]byte{{1}}, DefaultConfig()); err == nil {
+		t.Error("PEM accepted zero models")
+	}
+	m := &fakeModel{"m", func([]byte) float64 { return 0 }}
+	if _, err := PEM([]Model{m}, nil, DefaultConfig()); err == nil {
+		t.Error("PEM accepted zero samples")
+	}
+}

@@ -1,0 +1,151 @@
+// Package tensor provides the small dense linear-algebra kernels used by the
+// neural detectors (internal/nn) and the boosted trees (internal/gbdt).
+// It is deliberately minimal: flat float64 slices, row-major matrices, and
+// the handful of BLAS-1/2 operations the models need, written as simple
+// loops the compiler can bounds-check-eliminate.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Vec is a dense vector.
+type Vec []float64
+
+// NewVec returns a zero vector of length n.
+func NewVec(n int) Vec { return make(Vec, n) }
+
+// Clone returns a copy of v.
+func (v Vec) Clone() Vec { return append(Vec(nil), v...) }
+
+// Zero sets every element to 0.
+func (v Vec) Zero() {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// Dot returns the inner product of v and w; the slices must match in length.
+func Dot(v, w Vec) float64 {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("tensor: Dot length mismatch %d vs %d", len(v), len(w)))
+	}
+	var s float64
+	for i, x := range v {
+		s += x * w[i]
+	}
+	return s
+}
+
+// Axpy computes w += a*v in place.
+func Axpy(a float64, v, w Vec) {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("tensor: Axpy length mismatch %d vs %d", len(v), len(w)))
+	}
+	for i, x := range v {
+		w[i] += a * x
+	}
+}
+
+// Scale multiplies v by a in place.
+func (v Vec) Scale(a float64) {
+	for i := range v {
+		v[i] *= a
+	}
+}
+
+// Norm2 returns the Euclidean norm.
+func (v Vec) Norm2() float64 { return math.Sqrt(Dot(v, v)) }
+
+// ArgMax returns the index of the largest element (-1 for empty vectors).
+func (v Vec) ArgMax() int {
+	if len(v) == 0 {
+		return -1
+	}
+	bi := 0
+	for i := 1; i < len(v); i++ {
+		if v[i] > v[bi] {
+			bi = i
+		}
+	}
+	return bi
+}
+
+// Mat is a dense row-major matrix.
+type Mat struct {
+	Rows, Cols int
+	Data       Vec
+}
+
+// NewMat returns a zero Rows×Cols matrix.
+func NewMat(rows, cols int) *Mat {
+	return &Mat{Rows: rows, Cols: cols, Data: NewVec(rows * cols)}
+}
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Mat) Row(i int) Vec { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// At returns element (i, j).
+func (m *Mat) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Mat) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Mat) Clone() *Mat {
+	return &Mat{Rows: m.Rows, Cols: m.Cols, Data: m.Data.Clone()}
+}
+
+// MatVec computes m·v.
+func (m *Mat) MatVec(v Vec) Vec {
+	if len(v) != m.Cols {
+		panic(fmt.Sprintf("tensor: MatVec %dx%d by %d", m.Rows, m.Cols, len(v)))
+	}
+	out := NewVec(m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = Dot(m.Row(i), v)
+	}
+	return out
+}
+
+// XavierInit fills the matrix with Uniform(-lim, lim), lim = sqrt(6/(in+out)),
+// the standard Glorot initialization for tanh/sigmoid-adjacent layers.
+func (m *Mat) XavierInit(rng *rand.Rand) {
+	lim := math.Sqrt(6.0 / float64(m.Rows+m.Cols))
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64()*2 - 1) * lim
+	}
+}
+
+// HeInit fills the matrix with N(0, sqrt(2/cols)) for ReLU layers.
+func (m *Mat) HeInit(rng *rand.Rand) {
+	sd := math.Sqrt(2.0 / float64(m.Cols))
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64() * sd
+	}
+}
+
+// Sigmoid returns 1/(1+e^-x) with clamping that avoids overflow.
+func Sigmoid(x float64) float64 {
+	switch {
+	case x > 40:
+		return 1
+	case x < -40:
+		return 0
+	}
+	return 1 / (1 + math.Exp(-x))
+}
+
+// BCE returns the binary cross-entropy of probability p against label y,
+// clamped away from log(0).
+func BCE(p, y float64) float64 {
+	const eps = 1e-9
+	if p < eps {
+		p = eps
+	} else if p > 1-eps {
+		p = 1 - eps
+	}
+	return -(y*math.Log(p) + (1-y)*math.Log(1-p))
+}

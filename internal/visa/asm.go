@@ -1,0 +1,144 @@
+package visa
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Assembler builds VISA-32 programs with symbolic branch labels. Labels are
+// resolved to rel32 displacements when Assemble is called.
+//
+// The zero value is ready to use:
+//
+//	var a Assembler
+//	a.MOVI(0, 10)
+//	a.Label("loop")
+//	a.SUBI(0, 1)
+//	a.JNZ(0, "loop")
+//	a.HALT()
+//	code, err := a.Assemble()
+type Assembler struct {
+	insts  []Inst
+	labels map[string]int // label -> instruction index
+	refs   map[int]string // instruction index -> target label
+}
+
+// Len returns the number of instructions emitted so far.
+func (a *Assembler) Len() int { return len(a.insts) }
+
+// PC returns the byte offset of the next instruction to be emitted.
+func (a *Assembler) PC() int32 { return int32(len(a.insts) * Size) }
+
+// Label binds name to the current position. Re-binding a name panics: label
+// names are programmer input, not runtime data.
+func (a *Assembler) Label(name string) {
+	if a.labels == nil {
+		a.labels = make(map[string]int)
+	}
+	if _, dup := a.labels[name]; dup {
+		panic(fmt.Sprintf("visa: duplicate label %q", name))
+	}
+	a.labels[name] = len(a.insts)
+}
+
+// Emit appends a raw instruction.
+func (a *Assembler) Emit(in Inst) { a.insts = append(a.insts, in) }
+
+func (a *Assembler) emitRef(in Inst, label string) {
+	if a.refs == nil {
+		a.refs = make(map[int]string)
+	}
+	a.refs[len(a.insts)] = label
+	a.insts = append(a.insts, in)
+}
+
+// The instruction helpers, one per opcode.
+
+func (a *Assembler) Nop()                  { a.Emit(Inst{Op: NOP}) }
+func (a *Assembler) Halt()                 { a.Emit(Inst{Op: HALT}) }
+func (a *Assembler) Movi(r uint8, v int32) { a.Emit(Inst{Op: MOVI, Ra: r, Imm: v}) }
+func (a *Assembler) Mov(rd, rs uint8)      { a.Emit(Inst{Op: MOV, Ra: rd, Rb: rs}) }
+func (a *Assembler) Add(rd, rs uint8)      { a.Emit(Inst{Op: ADD, Ra: rd, Rb: rs}) }
+func (a *Assembler) Addi(r uint8, v int32) { a.Emit(Inst{Op: ADDI, Ra: r, Imm: v}) }
+func (a *Assembler) Sub(rd, rs uint8)      { a.Emit(Inst{Op: SUB, Ra: rd, Rb: rs}) }
+func (a *Assembler) Subi(r uint8, v int32) { a.Emit(Inst{Op: SUBI, Ra: r, Imm: v}) }
+func (a *Assembler) Xor(rd, rs uint8)      { a.Emit(Inst{Op: XOR, Ra: rd, Rb: rs}) }
+func (a *Assembler) Xori(r uint8, v int32) { a.Emit(Inst{Op: XORI, Ra: r, Imm: v}) }
+func (a *Assembler) Andi(r uint8, v int32) { a.Emit(Inst{Op: ANDI, Ra: r, Imm: v}) }
+func (a *Assembler) Ori(r uint8, v int32)  { a.Emit(Inst{Op: ORI, Ra: r, Imm: v}) }
+func (a *Assembler) Shli(r uint8, v int32) { a.Emit(Inst{Op: SHLI, Ra: r, Imm: v}) }
+func (a *Assembler) Shri(r uint8, v int32) { a.Emit(Inst{Op: SHRI, Ra: r, Imm: v}) }
+
+func (a *Assembler) Loadb(rd, base uint8, disp int32) {
+	a.Emit(Inst{Op: LOADB, Ra: rd, Rb: base, Imm: disp})
+}
+func (a *Assembler) Storeb(rs, base uint8, disp int32) {
+	a.Emit(Inst{Op: STOREB, Ra: rs, Rb: base, Imm: disp})
+}
+func (a *Assembler) Loadw(rd, base uint8, disp int32) {
+	a.Emit(Inst{Op: LOADW, Ra: rd, Rb: base, Imm: disp})
+}
+func (a *Assembler) Storew(rs, base uint8, disp int32) {
+	a.Emit(Inst{Op: STOREW, Ra: rs, Rb: base, Imm: disp})
+}
+
+func (a *Assembler) Push(r uint8)      { a.Emit(Inst{Op: PUSH, Ra: r}) }
+func (a *Assembler) Pop(r uint8)       { a.Emit(Inst{Op: POP, Ra: r}) }
+func (a *Assembler) Pusha()            { a.Emit(Inst{Op: PUSHA}) }
+func (a *Assembler) Popa()             { a.Emit(Inst{Op: POPA}) }
+func (a *Assembler) Ret()              { a.Emit(Inst{Op: RET}) }
+func (a *Assembler) Jmpr(r uint8)      { a.Emit(Inst{Op: JMPR, Ra: r}) }
+func (a *Assembler) Sys(api int32)     { a.Emit(Inst{Op: SYS, Imm: api}) }
+func (a *Assembler) Jmp(label string)  { a.emitRef(Inst{Op: JMP}, label) }
+func (a *Assembler) Call(label string) { a.emitRef(Inst{Op: CALL}, label) }
+func (a *Assembler) Jz(r uint8, label string) {
+	a.emitRef(Inst{Op: JZ, Ra: r}, label)
+}
+func (a *Assembler) Jnz(r uint8, label string) {
+	a.emitRef(Inst{Op: JNZ, Ra: r}, label)
+}
+func (a *Assembler) Jlt(ra, rb uint8, label string) {
+	a.emitRef(Inst{Op: JLT, Ra: ra, Rb: rb}, label)
+}
+
+// Instructions resolves all label references and returns the final
+// instruction slice. The assembler can keep being used afterwards.
+func (a *Assembler) Instructions() ([]Inst, error) {
+	out := make([]Inst, len(a.insts))
+	copy(out, a.insts)
+	// Deterministic error reporting: visit refs in index order.
+	idxs := make([]int, 0, len(a.refs))
+	for i := range a.refs {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		label := a.refs[i]
+		tgt, ok := a.labels[label]
+		if !ok {
+			return nil, fmt.Errorf("visa: undefined label %q at instruction %d", label, i)
+		}
+		// rel32 relative to the following instruction.
+		out[i].Imm = int32((tgt - (i + 1)) * Size)
+	}
+	return out, nil
+}
+
+// Assemble resolves labels and returns the encoded program bytes.
+func (a *Assembler) Assemble() ([]byte, error) {
+	insts, err := a.Instructions()
+	if err != nil {
+		return nil, err
+	}
+	return EncodeProgram(insts), nil
+}
+
+// MustAssemble is Assemble that panics on unresolved labels; for use in
+// tests and generators whose labels are static.
+func (a *Assembler) MustAssemble() []byte {
+	b, err := a.Assemble()
+	if err != nil {
+		panic(err)
+	}
+	return b
+}

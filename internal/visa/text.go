@@ -1,0 +1,194 @@
+package visa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseInst parses the assembler-like syntax produced by Inst.String back
+// into an instruction, so dumps from pe-inspect can be edited and
+// reassembled. The grammar is exactly String's output:
+//
+//	NOP | HALT | RET | PUSHA | POPA
+//	MOVI R1, -5        ADDI/SUBI/XORI/ANDI/ORI/SHLI/SHRI alike
+//	MOV R1, R2         ADD/SUB/XOR alike
+//	LOADB R1, [R2+8]   LOADW/STOREB/STOREW alike
+//	PUSH R3 | POP R3 | JMPR R3
+//	JMP +16 | CALL -8
+//	JZ R1, +8 | JNZ R1, -16
+//	JLT R1, R2, +24
+//	SYS 901
+func ParseInst(s string) (Inst, error) {
+	fields := strings.FieldsFunc(strings.TrimSpace(s), func(r rune) bool {
+		return r == ' ' || r == ',' || r == '\t'
+	})
+	if len(fields) == 0 {
+		return Inst{}, fmt.Errorf("visa: empty instruction")
+	}
+	op, ok := opByName(fields[0])
+	if !ok {
+		return Inst{}, fmt.Errorf("visa: unknown mnemonic %q", fields[0])
+	}
+	in := Inst{Op: op}
+	args := fields[1:]
+
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("visa: %s wants %d operands, got %d", op, n, len(args))
+		}
+		return nil
+	}
+
+	switch op {
+	case NOP, HALT, RET, PUSHA, POPA:
+		return in, need(0)
+	case MOVI, ADDI, SUBI, XORI, ANDI, ORI, SHLI, SHRI:
+		if err := need(2); err != nil {
+			return in, err
+		}
+		var err error
+		if in.Ra, err = parseReg(args[0]); err != nil {
+			return in, err
+		}
+		imm, err := parseImm(args[1])
+		in.Imm = imm
+		return in, err
+	case MOV, ADD, SUB, XOR:
+		if err := need(2); err != nil {
+			return in, err
+		}
+		var err error
+		if in.Ra, err = parseReg(args[0]); err != nil {
+			return in, err
+		}
+		in.Rb, err = parseReg(args[1])
+		return in, err
+	case LOADB, LOADW, STOREB, STOREW:
+		if err := need(2); err != nil {
+			return in, err
+		}
+		var err error
+		if in.Ra, err = parseReg(args[0]); err != nil {
+			return in, err
+		}
+		in.Rb, in.Imm, err = parseMem(args[1])
+		return in, err
+	case PUSH, POP, JMPR:
+		if err := need(1); err != nil {
+			return in, err
+		}
+		var err error
+		in.Ra, err = parseReg(args[0])
+		return in, err
+	case JMP, CALL:
+		if err := need(1); err != nil {
+			return in, err
+		}
+		imm, err := parseImm(args[0])
+		in.Imm = imm
+		return in, err
+	case JZ, JNZ:
+		if err := need(2); err != nil {
+			return in, err
+		}
+		var err error
+		if in.Ra, err = parseReg(args[0]); err != nil {
+			return in, err
+		}
+		imm, err := parseImm(args[1])
+		in.Imm = imm
+		return in, err
+	case JLT:
+		if err := need(3); err != nil {
+			return in, err
+		}
+		var err error
+		if in.Ra, err = parseReg(args[0]); err != nil {
+			return in, err
+		}
+		if in.Rb, err = parseReg(args[1]); err != nil {
+			return in, err
+		}
+		imm, err := parseImm(args[2])
+		in.Imm = imm
+		return in, err
+	case SYS:
+		if err := need(1); err != nil {
+			return in, err
+		}
+		imm, err := parseImm(args[0])
+		in.Imm = imm
+		return in, err
+	}
+	return in, fmt.Errorf("visa: unhandled mnemonic %q", fields[0])
+}
+
+// ParseProgram parses one instruction per non-empty line; lines starting
+// with ';' or '#' are comments.
+func ParseProgram(src string) ([]Inst, error) {
+	var out []Inst
+	for lineNo, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, ";") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		in, err := ParseInst(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+		}
+		out = append(out, in)
+	}
+	return out, nil
+}
+
+func opByName(name string) (Op, bool) {
+	for op := Op(0); op < opCount; op++ {
+		if opNames[op] == name {
+			return op, true
+		}
+	}
+	return 0, false
+}
+
+func parseReg(s string) (uint8, error) {
+	if len(s) < 2 || (s[0] != 'R' && s[0] != 'r') {
+		return 0, fmt.Errorf("visa: bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumRegs {
+		return 0, fmt.Errorf("visa: bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+func parseImm(s string) (int32, error) {
+	n, err := strconv.ParseInt(strings.TrimPrefix(s, "+"), 0, 64)
+	if err != nil || n < -1<<31 || n > 1<<31-1 {
+		return 0, fmt.Errorf("visa: bad immediate %q", s)
+	}
+	return int32(n), nil
+}
+
+// parseMem parses "[R2+8]", "[R2-4]", or "[R2]".
+func parseMem(s string) (uint8, int32, error) {
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, fmt.Errorf("visa: bad memory operand %q", s)
+	}
+	body := s[1 : len(s)-1]
+	sep := strings.IndexAny(body[1:], "+-")
+	if sep < 0 {
+		r, err := parseReg(body)
+		return r, 0, err
+	}
+	sep++ // offset into body
+	r, err := parseReg(body[:sep])
+	if err != nil {
+		return 0, 0, err
+	}
+	imm, err := parseImm(body[sep:])
+	return r, imm, err
+}

@@ -1,0 +1,103 @@
+package visa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseInstRoundTripsString(t *testing.T) {
+	// Property: every valid instruction survives String -> ParseInst.
+	prop := func(op uint8, ra, rb uint8, imm int32) bool {
+		in := Inst{Op: Op(op) % opCount, Ra: ra % NumRegs, Rb: rb % NumRegs, Imm: imm}
+		// Normalize fields String does not render (e.g. NOP has no regs).
+		switch in.Op {
+		case NOP, HALT, RET, PUSHA, POPA:
+			in.Ra, in.Rb, in.Imm = 0, 0, 0
+		case MOVI, ADDI, SUBI, XORI, ANDI, ORI, SHLI, SHRI:
+			in.Rb = 0
+		case MOV, ADD, SUB, XOR:
+			in.Imm = 0
+		case PUSH, POP, JMPR:
+			in.Rb, in.Imm = 0, 0
+		case JMP, CALL:
+			in.Ra, in.Rb = 0, 0
+		case JZ, JNZ:
+			in.Rb = 0
+		case SYS:
+			in.Ra, in.Rb = 0, 0
+		}
+		got, err := ParseInst(in.String())
+		return err == nil && got == in
+	}
+	cfg := &quick.Config{MaxCount: 600, Rand: rand.New(rand.NewSource(5))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseInstExamples(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Inst
+	}{
+		{"NOP", Inst{Op: NOP}},
+		{"MOVI R3, -12345", Inst{Op: MOVI, Ra: 3, Imm: -12345}},
+		{"MOVI R3, 0x10", Inst{Op: MOVI, Ra: 3, Imm: 16}},
+		{"ADD R1, R2", Inst{Op: ADD, Ra: 1, Rb: 2}},
+		{"LOADB R0, [R7+12]", Inst{Op: LOADB, Ra: 0, Rb: 7, Imm: 12}},
+		{"STOREW R5, [R6-4]", Inst{Op: STOREW, Ra: 5, Rb: 6, Imm: -4}},
+		{"LOADW R1, [R2]", Inst{Op: LOADW, Ra: 1, Rb: 2}},
+		{"JMP +16", Inst{Op: JMP, Imm: 16}},
+		{"JNZ R4, -8", Inst{Op: JNZ, Ra: 4, Imm: -8}},
+		{"JLT R1, R2, +24", Inst{Op: JLT, Ra: 1, Rb: 2, Imm: 24}},
+		{"SYS 901", Inst{Op: SYS, Imm: 901}},
+		{"  PUSH R7  ", Inst{Op: PUSH, Ra: 7}},
+	}
+	for _, tc := range cases {
+		got, err := ParseInst(tc.src)
+		if err != nil {
+			t.Errorf("%q: %v", tc.src, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%q = %+v, want %+v", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestParseInstRejects(t *testing.T) {
+	bad := []string{
+		"", "FROB R1", "MOVI", "MOVI R9, 1", "MOVI R1", "ADD R1",
+		"LOADB R1, R2", "LOADB R1, [X2+1]", "JMP lots", "SYS",
+		"MOVI R1, 99999999999999999999",
+	}
+	for _, src := range bad {
+		if _, err := ParseInst(src); err == nil {
+			t.Errorf("%q accepted", src)
+		}
+	}
+}
+
+func TestParseProgram(t *testing.T) {
+	src := `
+	; countdown loop
+	MOVI R0, 3
+	SUBI R0, 1   # decrement
+	JNZ R0, -16
+	HALT
+`
+	insts, err := ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts) != 4 {
+		t.Fatalf("parsed %d instructions, want 4", len(insts))
+	}
+	if insts[3].Op != HALT {
+		t.Errorf("last op = %v", insts[3].Op)
+	}
+	if _, err := ParseProgram("HALT\nWAT"); err == nil {
+		t.Error("bad line accepted")
+	}
+}

@@ -1,0 +1,190 @@
+package visa
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Inst{
+		{Op: NOP},
+		{Op: HALT},
+		{Op: MOVI, Ra: 3, Imm: -12345},
+		{Op: MOV, Ra: 1, Rb: 2},
+		{Op: LOADB, Ra: 0, Rb: 7, Imm: 0x7FFFFFFF},
+		{Op: STOREW, Ra: 5, Rb: 6, Imm: -0x80000000},
+		{Op: JMP, Imm: -8},
+		{Op: JLT, Ra: 2, Rb: 3, Imm: 64},
+		{Op: SYS, Imm: 901},
+	}
+	for _, in := range cases {
+		t.Run(in.String(), func(t *testing.T) {
+			got, err := Decode(in.Bytes())
+			if err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+			if got != in {
+				t.Errorf("round trip = %+v, want %+v", got, in)
+			}
+		})
+	}
+}
+
+func TestQuickEncodeDecode(t *testing.T) {
+	prop := func(op uint8, ra, rb uint8, imm int32) bool {
+		in := Inst{Op: Op(op % uint8(opCount)), Ra: ra % NumRegs, Rb: rb % NumRegs, Imm: imm}
+		got, err := Decode(in.Bytes())
+		return err == nil && got == in
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		b    []byte
+	}{
+		{"short", []byte{1, 2, 3}},
+		{"bad op", Inst{Op: opCount}.Bytes()},
+		{"bad reg", func() []byte {
+			b := Inst{Op: MOV}.Bytes()
+			b[1] = NumRegs
+			return b
+		}()},
+		{"reserved", func() []byte {
+			b := Inst{Op: NOP}.Bytes()
+			b[3] = 1
+			return b
+		}()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Decode(tc.b); err == nil {
+				t.Error("Decode accepted invalid encoding")
+			}
+		})
+	}
+}
+
+func TestBranchClassification(t *testing.T) {
+	for op := Op(0); op < opCount; op++ {
+		wantBranch := op == JMP || op == JZ || op == JNZ || op == JLT || op == CALL
+		if got := op.IsBranch(); got != wantBranch {
+			t.Errorf("%v.IsBranch() = %v, want %v", op, got, wantBranch)
+		}
+		wantCond := op == JZ || op == JNZ || op == JLT
+		if got := op.IsConditional(); got != wantCond {
+			t.Errorf("%v.IsConditional() = %v, want %v", op, got, wantCond)
+		}
+	}
+}
+
+func TestAssemblerForwardAndBackwardLabels(t *testing.T) {
+	var a Assembler
+	a.Movi(0, 3)
+	a.Jmp("skip") // forward reference
+	a.Halt()
+	a.Label("skip")
+	a.Label("loop")
+	a.Subi(0, 1)
+	a.Jnz(0, "loop") // backward reference
+	a.Halt()
+
+	insts, err := a.Instructions()
+	if err != nil {
+		t.Fatalf("Instructions: %v", err)
+	}
+	// JMP at index 1 targets index 3: (3-2)*8 = 8.
+	if insts[1].Imm != 8 {
+		t.Errorf("forward JMP imm = %d, want 8", insts[1].Imm)
+	}
+	// JNZ at index 4 targets index 3: (3-5)*8 = -16.
+	if insts[4].Imm != -16 {
+		t.Errorf("backward JNZ imm = %d, want -16", insts[4].Imm)
+	}
+}
+
+func TestAssemblerUndefinedLabel(t *testing.T) {
+	var a Assembler
+	a.Jmp("nowhere")
+	if _, err := a.Assemble(); err == nil {
+		t.Error("Assemble resolved an undefined label")
+	}
+}
+
+func TestAssemblerDuplicateLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate label did not panic")
+		}
+	}()
+	var a Assembler
+	a.Label("x")
+	a.Label("x")
+}
+
+func TestEncodeDecodeProgram(t *testing.T) {
+	var a Assembler
+	a.Movi(1, 100)
+	a.Movi(2, 200)
+	a.Add(1, 2)
+	a.Sys(5)
+	a.Halt()
+	raw := a.MustAssemble()
+
+	insts, err := DecodeProgram(raw)
+	if err != nil {
+		t.Fatalf("DecodeProgram: %v", err)
+	}
+	if len(insts) != 5 {
+		t.Fatalf("decoded %d instructions, want 5", len(insts))
+	}
+	if !bytes.Equal(EncodeProgram(insts), raw) {
+		t.Error("EncodeProgram(DecodeProgram(x)) != x")
+	}
+}
+
+func TestDecodeProgramStopsAtBadInstruction(t *testing.T) {
+	good := Inst{Op: NOP}.Bytes()
+	bad := Inst{Op: opCount}.Bytes()
+	insts, err := DecodeProgram(append(append([]byte{}, good...), bad...))
+	if err == nil {
+		t.Fatal("DecodeProgram accepted a bad opcode")
+	}
+	if len(insts) != 1 {
+		t.Errorf("decoded %d instructions before error, want 1", len(insts))
+	}
+	if !strings.Contains(err.Error(), "0x8") {
+		t.Errorf("error %q does not name the failing offset", err)
+	}
+}
+
+func TestInstStringCoversAllOps(t *testing.T) {
+	for op := Op(0); op < opCount; op++ {
+		s := Inst{Op: op, Ra: 1, Rb: 2, Imm: 3}.String()
+		if s == "" || strings.HasPrefix(s, "OP(") {
+			t.Errorf("opcode %d has no formatted mnemonic: %q", op, s)
+		}
+	}
+	if got := Op(200).String(); got != "OP(200)" {
+		t.Errorf("unknown opcode string = %q", got)
+	}
+}
+
+func TestPCAndLen(t *testing.T) {
+	var a Assembler
+	if a.PC() != 0 || a.Len() != 0 {
+		t.Error("zero-value assembler not empty")
+	}
+	a.Nop()
+	a.Nop()
+	if a.PC() != 16 || a.Len() != 2 {
+		t.Errorf("PC=%d Len=%d after two instructions", a.PC(), a.Len())
+	}
+}
