@@ -1,0 +1,41 @@
+# Build / verify entry points. `make ci` is the gate: build, vet, tests,
+# the race detector over the parallel engine, and a benchmark smoke.
+
+GO ?= go
+
+# Packages owning the parallel compute layer and its parity tests; the race
+# target drills into these (the full suite under -race is race-all, which
+# retrains every eval model and takes tens of minutes).
+PARALLEL_PKGS = ./internal/parallel ./internal/tensor ./internal/nn \
+                ./internal/shapley ./internal/detect ./internal/av
+
+.PHONY: all build vet test race race-all bench bench-full ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -count=1 $(PARALLEL_PKGS)
+
+race-all:
+	$(GO) test -race -count=1 ./...
+
+# bench is the quick smoke: the data-parallel training step across worker
+# counts, no experiment-suite setup.
+bench:
+	$(GO) test -run '^$$' -bench 'TrainBatchParallel' -benchtime=3x -benchmem .
+
+# bench-full sweeps every micro- and experiment benchmark (sets up the full
+# evaluation suite; expect minutes).
+bench-full:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+ci: build vet test race bench

@@ -13,6 +13,7 @@
 package mpass_test
 
 import (
+	"fmt"
 	"math/rand"
 	"strings"
 	"sync"
@@ -24,6 +25,7 @@ import (
 	"mpass/internal/detect"
 	"mpass/internal/eval"
 	"mpass/internal/features"
+	"mpass/internal/nn"
 	"mpass/internal/packer"
 	"mpass/internal/pefile"
 	"mpass/internal/recovery"
@@ -401,6 +403,82 @@ func BenchmarkPackerUPX(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// parallelWorkerCounts are the pool sizes the parallel micro-benchmarks
+// sweep; 0 resolves to GOMAXPROCS.
+var parallelWorkerCounts = []int{1, 2, 4, 0}
+
+// benchTrainingBatch builds one fixed minibatch of corpus samples.
+func benchTrainingBatch(b *testing.B, n int) ([][]byte, []float64) {
+	b.Helper()
+	g := corpus.NewGenerator(505)
+	batch := make([][]byte, n)
+	ys := make([]float64, n)
+	for i := range batch {
+		if i%2 == 0 {
+			batch[i] = g.Sample(corpus.Malware).Raw
+			ys[i] = 1
+		} else {
+			batch[i] = g.Sample(corpus.Benign).Raw
+		}
+	}
+	return batch, ys
+}
+
+// BenchmarkTrainBatchParallel measures the data-parallel minibatch step of
+// the MalConv architecture across worker counts. Losses and weights are
+// bit-identical at every count; only wall-clock should move.
+func BenchmarkTrainBatchParallel(b *testing.B) {
+	batch, ys := benchTrainingBatch(b, 16)
+	for _, workers := range parallelWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			net, err := nn.NewConvNet(nn.ConvConfig{
+				SeqLen: detect.SeqLen, EmbedDim: 4, Kernel: 8, Stride: 8, Filters: 8, Seed: 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			net.Workers = workers
+			opt := nn.NewAdam(5e-3)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				net.TrainBatch(batch, ys, opt)
+			}
+			b.ReportMetric(float64(b.N*len(batch))/b.Elapsed().Seconds(), "samples/sec")
+		})
+	}
+}
+
+// BenchmarkShapleyParallel measures the pooled exact-Shapley subset
+// enumeration (2^4 ablated renders + model evaluations per op) across
+// worker counts, against the trained MalConv.
+func BenchmarkShapleyParallel(b *testing.B) {
+	s := suite(b)
+	raw := benchVictim(b)
+	secs := []string{".text", ".data", ".rdata", ".idata"}
+	for _, workers := range parallelWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := shapley.SectionShapleyWorkers(raw, secs, s.MalConv.Score, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)*float64(int(1)<<len(secs))/b.Elapsed().Seconds(), "subset-evals/sec")
+		})
+	}
+}
+
+// BenchmarkScoreBatch measures the batched scoring path on the trained
+// MalConv — the unit the harness's victim selection and calibration use.
+func BenchmarkScoreBatch(b *testing.B) {
+	s := suite(b)
+	raws, _ := benchTrainingBatch(b, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.MalConv.ScoreBatch(raws)
+	}
+	b.ReportMetric(float64(b.N*len(raws))/b.Elapsed().Seconds(), "samples/sec")
 }
 
 // BenchmarkDetectorTraining measures training one MalConv from scratch.

@@ -26,6 +26,7 @@ func main() {
 	quick := flag.Bool("quick", false, "scaled-down configuration")
 	seed := flag.Int64("seed", 1, "global seed")
 	victims := flag.Int("victims", 0, "override victim count")
+	workers := flag.Int("workers", 0, "worker-pool size for training, scoring, and attacks (0 = GOMAXPROCS)")
 	outPath := flag.String("out", "", "also write the report to this file")
 	csvDir := flag.String("csv", "", "also export grids as CSV into this directory")
 	flag.Parse()
@@ -37,6 +38,10 @@ func main() {
 	cfg.Seed = *seed
 	if *victims > 0 {
 		cfg.Victims = *victims
+	}
+	cfg.Workers = *workers
+	if err := cfg.Validate(); err != nil {
+		log.Fatal(err)
 	}
 
 	var out io.Writer = os.Stdout

@@ -25,7 +25,11 @@ func main() {
 	seed := flag.Int64("seed", 1, "corpus and training seed")
 	nMal := flag.Int("malware", 60, "malware samples in the corpus")
 	nBen := flag.Int("benign", 60, "benign samples in the corpus")
+	workers := flag.Int("workers", 0, "worker-pool size for concurrent training (0 = GOMAXPROCS)")
 	flag.Parse()
+	if *workers < 0 {
+		log.Fatalf("workers must be >= 0 (0 = GOMAXPROCS), got %d", *workers)
+	}
 
 	start := time.Now()
 	ds := corpus.MakeAugmentedDataset(*seed, *nMal, *nBen, 0.67)
@@ -34,6 +38,7 @@ func main() {
 
 	cfg := detect.DefaultTrainConfig()
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 	malconv, nonneg, lgbm, malgcg, err := detect.TrainAll(ds, cfg)
 	if err != nil {
 		log.Fatal(err)

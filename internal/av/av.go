@@ -29,6 +29,7 @@ import (
 	"mpass/internal/detect"
 	"mpass/internal/features"
 	"mpass/internal/nn"
+	"mpass/internal/parallel"
 	"mpass/internal/pefile"
 )
 
@@ -455,30 +456,28 @@ func NewSuite(ds *corpus.Dataset, cfg SuiteConfig) ([]*AV, error) {
 		}, vendorDS, tc)
 	}
 
-	c1, err := conv("av1-conv", cfg.Seed+1, 8, 8, 10, 0)
-	if err != nil {
-		return nil, err
-	}
-	c2, err := conv("av2-conv", cfg.Seed+2, 16, 16, 12, 6)
-	if err != nil {
-		return nil, err
-	}
-	c3, err := conv("av3-conv", cfg.Seed+3, 8, 4, 6, 0)
-	if err != nil {
-		return nil, err
-	}
-	c5, err := conv("av5-conv", cfg.Seed+5, 24, 8, 12, 8)
-	if err != nil {
-		return nil, err
-	}
-	g2, err := detect.TrainLightGBM(vendorDS, tc)
-	if err != nil {
-		return nil, err
-	}
-	g4, err := detect.TrainLightGBM(vendorDS, detect.TrainConfig{
-		Epochs: tc.Epochs, BatchSize: tc.BatchSize, LR: tc.LR,
-		TargetFPR: tc.TargetFPR / 2, Seed: cfg.Seed + 4,
-	})
+	// The vendor models share nothing but the read-only corpus — distinct
+	// architectures, seeds, and calibration — so the whole zoo trains
+	// concurrently, alongside the (feature-extraction-heavy) novelty
+	// reference statistics.
+	var c1, c2, c3, c5 *detect.ConvDetector
+	var g2, g4 *detect.GBDTDetector
+	var novelty *noveltyMember
+	err := parallel.Do(tc.Workers,
+		func() (e error) { c1, e = conv("av1-conv", cfg.Seed+1, 8, 8, 10, 0); return },
+		func() (e error) { c2, e = conv("av2-conv", cfg.Seed+2, 16, 16, 12, 6); return },
+		func() (e error) { c3, e = conv("av3-conv", cfg.Seed+3, 8, 4, 6, 0); return },
+		func() (e error) { c5, e = conv("av5-conv", cfg.Seed+5, 24, 8, 12, 8); return },
+		func() (e error) { g2, e = detect.TrainLightGBM(vendorDS, tc); return },
+		func() (e error) {
+			g4, e = detect.TrainLightGBM(vendorDS, detect.TrainConfig{
+				Epochs: tc.Epochs, BatchSize: tc.BatchSize, LR: tc.LR,
+				TargetFPR: tc.TargetFPR / 2, Seed: cfg.Seed + 4, Workers: tc.Workers,
+			})
+			return
+		},
+		func() error { novelty = newNoveltyMember(benign, 0); return nil }, // thresholds set per vendor below
+	)
 	if err != nil {
 		return nil, err
 	}
@@ -487,7 +486,6 @@ func NewSuite(ds *corpus.Dataset, cfg SuiteConfig) ([]*AV, error) {
 	// make the AVs stricter than the offline models, and the heuristic mix
 	// differs per vendor — both properties Figure 3 and Tables IV-VI rely
 	// on.
-	novelty := newNoveltyMember(benign, 0) // thresholds set per vendor below
 
 	avs := []*AV{
 		{

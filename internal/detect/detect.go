@@ -26,6 +26,7 @@ import (
 	"mpass/internal/features"
 	"mpass/internal/gbdt"
 	"mpass/internal/nn"
+	"mpass/internal/parallel"
 	"mpass/internal/tensor"
 )
 
@@ -37,6 +38,51 @@ type Detector interface {
 	Score(raw []byte) float64
 	// Label returns true when the sample is flagged malicious.
 	Label(raw []byte) bool
+}
+
+// BatchScorer is implemented by detectors that amortize padding and
+// dispatch across a whole batch of samples. Scores come back in input
+// order and equal per-sample Score calls exactly.
+type BatchScorer interface {
+	ScoreBatch(raws [][]byte) []float64
+}
+
+// BatchLabeler is the hard-label counterpart of BatchScorer.
+type BatchLabeler interface {
+	LabelBatch(raws [][]byte) []bool
+}
+
+// ScoreAll scores every sample with d, through the batched path when the
+// detector provides one and workers goroutines otherwise.
+func ScoreAll(d Detector, raws [][]byte, workers int) []float64 {
+	if bs, ok := d.(BatchScorer); ok {
+		return bs.ScoreBatch(raws)
+	}
+	scores := make([]float64, len(raws))
+	parallel.ForEach(workers, len(raws), func(i int) {
+		scores[i] = d.Score(raws[i])
+	})
+	return scores
+}
+
+// LabelAll labels every sample with d, batched when possible.
+func LabelAll(d Detector, raws [][]byte, workers int) []bool {
+	if bl, ok := d.(BatchLabeler); ok {
+		return bl.LabelBatch(raws)
+	}
+	labels := make([]bool, len(raws))
+	parallel.ForEach(workers, len(raws), func(i int) {
+		labels[i] = d.Label(raws[i])
+	})
+	return labels
+}
+
+func labelsFromScores(scores []float64, thr float64) []bool {
+	labels := make([]bool, len(scores))
+	for i, s := range scores {
+		labels[i] = s >= thr
+	}
+	return labels
 }
 
 // GradientModel is a Detector whose score is differentiable with respect to
@@ -63,8 +109,16 @@ func (d *ConvDetector) Name() string { return d.ModelName }
 // Score implements Detector.
 func (d *ConvDetector) Score(raw []byte) float64 { return d.Net.Predict(raw) }
 
+// ScoreBatch implements BatchScorer over the network's pooled forward pass.
+func (d *ConvDetector) ScoreBatch(raws [][]byte) []float64 { return d.Net.PredictBatch(raws) }
+
 // Label implements Detector.
 func (d *ConvDetector) Label(raw []byte) bool { return d.Score(raw) >= d.Threshold }
+
+// LabelBatch implements BatchLabeler.
+func (d *ConvDetector) LabelBatch(raws [][]byte) []bool {
+	return labelsFromScores(d.ScoreBatch(raws), d.Threshold)
+}
 
 // InputGradient implements GradientModel.
 func (d *ConvDetector) InputGradient(raw []byte, target float64) *nn.InputGrad {
@@ -85,6 +139,8 @@ type GBDTDetector struct {
 	ModelName string
 	Ensemble  *gbdt.Ensemble
 	Threshold float64
+	// Workers bounds ScoreBatch parallelism (<= 0 = GOMAXPROCS).
+	Workers int
 }
 
 // Name implements Detector.
@@ -95,8 +151,23 @@ func (d *GBDTDetector) Score(raw []byte) float64 {
 	return d.Ensemble.Predict(features.Extract(raw))
 }
 
+// ScoreBatch implements BatchScorer: feature extraction — the dominant cost
+// — and tree walks fan out per sample.
+func (d *GBDTDetector) ScoreBatch(raws [][]byte) []float64 {
+	scores := make([]float64, len(raws))
+	parallel.ForEach(d.Workers, len(raws), func(i int) {
+		scores[i] = d.Score(raws[i])
+	})
+	return scores
+}
+
 // Label implements Detector.
 func (d *GBDTDetector) Label(raw []byte) bool { return d.Score(raw) >= d.Threshold }
+
+// LabelBatch implements BatchLabeler.
+func (d *GBDTDetector) LabelBatch(raws [][]byte) []bool {
+	return labelsFromScores(d.ScoreBatch(raws), d.Threshold)
+}
 
 // TrainConfig controls neural-detector training.
 type TrainConfig struct {
@@ -105,6 +176,10 @@ type TrainConfig struct {
 	LR        float64
 	TargetFPR float64 // threshold calibration point
 	Seed      int64
+	// Workers bounds the data parallelism of minibatch training, threshold
+	// calibration, and feature extraction (<= 0 = GOMAXPROCS). Trained
+	// weights are bit-identical for every value.
+	Workers int
 }
 
 // DefaultTrainConfig trains quickly to high accuracy on the synthetic
@@ -170,16 +245,16 @@ func TrainConvCustom(name string, arch nn.ConvConfig, ds *corpus.Dataset, cfg Tr
 func TrainLightGBM(ds *corpus.Dataset, cfg TrainConfig) (*GBDTDetector, error) {
 	xs := make([][]float64, len(ds.Train))
 	ys := make([]float64, len(ds.Train))
-	for i, s := range ds.Train {
-		xs[i] = features.Extract(s.Raw)
-		ys[i] = label(s)
-	}
+	parallel.ForEach(cfg.Workers, len(ds.Train), func(i int) {
+		xs[i] = features.Extract(ds.Train[i].Raw)
+		ys[i] = label(ds.Train[i])
+	})
 	ens, err := gbdt.Train(xs, ys, gbdt.DefaultConfig())
 	if err != nil {
 		return nil, err
 	}
-	d := &GBDTDetector{ModelName: "LightGBM", Ensemble: ens}
-	d.Threshold = calibrate(func(raw []byte) float64 { return d.Score(raw) }, ds.Train, cfg.TargetFPR)
+	d := &GBDTDetector{ModelName: "LightGBM", Ensemble: ens, Workers: cfg.Workers}
+	d.Threshold = calibrate(d.ScoreBatch, ds.Train, cfg.TargetFPR)
 	return d, nil
 }
 
@@ -193,6 +268,7 @@ func trainConv(name string, net *nn.ConvNet, ds *corpus.Dataset, cfg TrainConfig
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5DEECE66D))
 	opt := nn.NewAdam(cfg.LR)
+	net.Workers = cfg.Workers
 
 	idx := make([]int, len(ds.Train))
 	for i := range idx {
@@ -221,7 +297,7 @@ func trainConv(name string, net *nn.ConvNet, ds *corpus.Dataset, cfg TrainConfig
 		}
 	}
 	d := &ConvDetector{ModelName: name, Net: net}
-	d.Threshold = calibrate(net.Predict, ds.Train, cfg.TargetFPR)
+	d.Threshold = calibrate(net.PredictBatch, ds.Train, cfg.TargetFPR)
 	return d, nil
 }
 
@@ -233,17 +309,19 @@ func label(s *corpus.Sample) float64 {
 }
 
 // calibrate picks the decision threshold achieving the target false-positive
-// rate on the benign portion of samples, clamped to at least 0.5.
-func calibrate(score func([]byte) float64, samples []*corpus.Sample, targetFPR float64) float64 {
-	var benignScores []float64
+// rate on the benign portion of samples, clamped to at least 0.5. Scoring
+// goes through the model's batched path, so calibration rides the pool.
+func calibrate(scoreBatch func([][]byte) []float64, samples []*corpus.Sample, targetFPR float64) float64 {
+	var benign [][]byte
 	for _, s := range samples {
 		if s.Family == corpus.Benign {
-			benignScores = append(benignScores, score(s.Raw))
+			benign = append(benign, s.Raw)
 		}
 	}
-	if len(benignScores) == 0 {
+	if len(benign) == 0 {
 		return 0.5
 	}
+	benignScores := scoreBatch(benign)
 	sort.Float64s(benignScores)
 	k := int(float64(len(benignScores)) * (1 - targetFPR))
 	if k >= len(benignScores) {
@@ -259,14 +337,16 @@ func calibrate(score func([]byte) float64, samples []*corpus.Sample, targetFPR f
 	return thr
 }
 
-// Accuracy evaluates a detector's hard-label accuracy on samples.
+// Accuracy evaluates a detector's hard-label accuracy on samples, through
+// the batched labeling path.
 func Accuracy(d Detector, samples []*corpus.Sample) float64 {
 	if len(samples) == 0 {
 		return 0
 	}
+	labels := LabelAll(d, rawsOf(samples), 0)
 	correct := 0
-	for _, s := range samples {
-		if d.Label(s.Raw) == (s.Family == corpus.Malware) {
+	for i, s := range samples {
+		if labels[i] == (s.Family == corpus.Malware) {
 			correct++
 		}
 	}
@@ -276,26 +356,34 @@ func Accuracy(d Detector, samples []*corpus.Sample) float64 {
 // DetectedMalware filters samples to malware the detector currently flags —
 // the paper's requirement (1) for attack-eligible samples.
 func DetectedMalware(d Detector, samples []*corpus.Sample) []*corpus.Sample {
+	labels := LabelAll(d, rawsOf(samples), 0)
 	var out []*corpus.Sample
-	for _, s := range samples {
-		if s.Family == corpus.Malware && d.Label(s.Raw) {
+	for i, s := range samples {
+		if s.Family == corpus.Malware && labels[i] {
 			out = append(out, s)
 		}
 	}
 	return out
 }
 
-// TrainAll trains the full offline-model suite in the paper's order.
+func rawsOf(samples []*corpus.Sample) [][]byte {
+	raws := make([][]byte, len(samples))
+	for i, s := range samples {
+		raws[i] = s.Raw
+	}
+	return raws
+}
+
+// TrainAll trains the full offline-model suite of §IV-A. The four models
+// are independent — separate architectures, seeds, and gradient state over
+// a read-only dataset — so they train concurrently on the Workers pool;
+// every model's weights are the same as when trained alone.
 func TrainAll(ds *corpus.Dataset, cfg TrainConfig) (malconv, nonneg *ConvDetector, lgbm *GBDTDetector, malgcg *ConvDetector, err error) {
-	if malconv, err = TrainMalConv(ds, cfg); err != nil {
-		return
-	}
-	if nonneg, err = TrainNonNeg(ds, cfg); err != nil {
-		return
-	}
-	if lgbm, err = TrainLightGBM(ds, cfg); err != nil {
-		return
-	}
-	malgcg, err = TrainMalGCG(ds, cfg)
+	err = parallel.Do(cfg.Workers,
+		func() (e error) { malconv, e = TrainMalConv(ds, cfg); return },
+		func() (e error) { nonneg, e = TrainNonNeg(ds, cfg); return },
+		func() (e error) { lgbm, e = TrainLightGBM(ds, cfg); return },
+		func() (e error) { malgcg, e = TrainMalGCG(ds, cfg); return },
+	)
 	return
 }

@@ -182,7 +182,7 @@ func (s *Suite) RunPEMRanking(nSamples int) (*PEMRanking, error) {
 		raws = append(raws, v.Raw)
 	}
 	models := []shapley.Model{s.MalConv, s.NonNeg, s.MalGCG, s.LGBM}
-	res, err := shapley.PEM(models, raws, shapley.Config{TopH: 10, TopK: 3})
+	res, err := shapley.PEM(models, raws, shapley.Config{TopH: 10, TopK: 3, Workers: s.Cfg.Workers})
 	if err != nil {
 		return nil, err
 	}

@@ -19,8 +19,6 @@ package eval
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"mpass/internal/attacks"
 	"mpass/internal/av"
@@ -28,6 +26,7 @@ import (
 	"mpass/internal/corpus"
 	"mpass/internal/detect"
 	"mpass/internal/nn"
+	"mpass/internal/parallel"
 	"mpass/internal/sandbox"
 )
 
@@ -50,8 +49,18 @@ type Config struct {
 	BaselineDonors int
 	// Train configures detector training.
 	Train detect.TrainConfig
-	// Workers bounds attack parallelism (0 = GOMAXPROCS).
+	// Workers bounds the suite's parallelism everywhere — concurrent model
+	// training in Setup, batched scoring, and the per-victim attack fan-out
+	// of runCell (0 = GOMAXPROCS, negative is invalid).
 	Workers int
+}
+
+// Validate rejects configurations Setup cannot honor.
+func (c Config) Validate() error {
+	if c.Workers < 0 {
+		return fmt.Errorf("eval: Workers must be >= 0 (0 = GOMAXPROCS), got %d", c.Workers)
+	}
+	return nil
 }
 
 // DefaultConfig is the full benchmark configuration.
@@ -99,16 +108,19 @@ type Suite struct {
 }
 
 // Setup builds the corpus, trains all detectors and AV simulators, trains
-// the MalRNN language model, and selects the victim set.
+// the MalRNN language model, and selects the victim set. The three model
+// groups — offline detectors, AV simulators, MalRNN — share nothing but
+// the read-only corpus and donor pools, so they train concurrently on the
+// Workers pool; each group is internally concurrent as well.
 func Setup(cfg Config) (*Suite, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Train.Workers == 0 {
+		cfg.Train.Workers = cfg.Workers
+	}
 	s := &Suite{Cfg: cfg}
 	s.DS = corpus.MakeAugmentedDataset(cfg.Seed, cfg.NumMalware, cfg.NumBenign, cfg.TrainFrac)
-
-	var err error
-	s.MalConv, s.NonNeg, s.LGBM, s.MalGCG, err = detect.TrainAll(s.DS, cfg.Train)
-	if err != nil {
-		return nil, fmt.Errorf("eval: offline models: %w", err)
-	}
 
 	g := corpus.NewGenerator(cfg.Seed + 77000)
 	for i := 0; i < cfg.MPassDonors; i++ {
@@ -121,29 +133,69 @@ func Setup(cfg Config) (*Suite, error) {
 	// The donor programs are ordinary benign software; vendors have the
 	// same files in their benign corpora (see av.SuiteConfig.ExtraBenignRef).
 	extraRef := append(append([][]byte{}, s.MPassDonorPool...), s.BaselineDonorPool...)
-	s.AVs, err = av.NewSuite(s.DS, av.SuiteConfig{
-		Train: cfg.Train, Seed: cfg.Seed + 9000, ExtraBenignRef: extraRef,
-	})
+	err := parallel.Do(cfg.Workers,
+		func() (e error) {
+			s.MalConv, s.NonNeg, s.LGBM, s.MalGCG, e = detect.TrainAll(s.DS, cfg.Train)
+			if e != nil {
+				e = fmt.Errorf("eval: offline models: %w", e)
+			}
+			return
+		},
+		func() (e error) {
+			s.AVs, e = av.NewSuite(s.DS, av.SuiteConfig{
+				Train: cfg.Train, Seed: cfg.Seed + 9000, ExtraBenignRef: extraRef,
+			})
+			if e != nil {
+				e = fmt.Errorf("eval: AV suite: %w", e)
+			}
+			return
+		},
+		func() (e error) {
+			s.LM, e = attacks.TrainMalRNNLM(s.BaselineDonorPool, 3, cfg.Seed+5)
+			if e != nil {
+				e = fmt.Errorf("eval: MalRNN LM: %w", e)
+			}
+			return
+		},
+	)
 	if err != nil {
-		return nil, fmt.Errorf("eval: AV suite: %w", err)
-	}
-	s.LM, err = attacks.TrainMalRNNLM(s.BaselineDonorPool, 3, cfg.Seed+5)
-	if err != nil {
-		return nil, fmt.Errorf("eval: MalRNN LM: %w", err)
+		return nil, err
 	}
 
 	// Victim selection: sandbox-verified malicious behaviour + detected by
-	// all offline models.
+	// all offline models. Candidate filtering runs the sandbox per sample on
+	// the pool; the detector checks then go through one batched scoring pass
+	// per model over the surviving candidates.
+	testMal := make([]*corpus.Sample, 0, len(s.DS.Test))
 	for _, m := range s.DS.Test {
-		if m.Family != corpus.Malware {
-			continue
+		if m.Family == corpus.Malware {
+			testMal = append(testMal, m)
 		}
-		res, err := sandbox.Run(m.Raw)
-		if err != nil || !res.Halted() || !hasSensitive(res.Trace) {
-			continue
+	}
+	behaving := make([]bool, len(testMal))
+	parallel.ForEach(cfg.Workers, len(testMal), func(i int) {
+		res, err := sandbox.Run(testMal[i].Raw)
+		behaving[i] = err == nil && res.Halted() && hasSensitive(res.Trace)
+	})
+	var candidates []*corpus.Sample
+	var raws [][]byte
+	for i, ok := range behaving {
+		if ok {
+			candidates = append(candidates, testMal[i])
+			raws = append(raws, testMal[i].Raw)
 		}
-		if s.MalConv.Label(m.Raw) && s.NonNeg.Label(m.Raw) &&
-			s.LGBM.Label(m.Raw) && s.MalGCG.Label(m.Raw) {
+	}
+	detected := make([]bool, len(candidates))
+	for i := range detected {
+		detected[i] = true
+	}
+	for _, d := range s.OfflineTargets() {
+		for i, flagged := range detect.LabelAll(d, raws, cfg.Workers) {
+			detected[i] = detected[i] && flagged
+		}
+	}
+	for i, m := range candidates {
+		if detected[i] {
 			s.Victims = append(s.Victims, m)
 		}
 	}
@@ -272,37 +324,26 @@ type VictimAE struct {
 }
 
 // runCell attacks every victim with per-victim instances of one attack
-// against one oracle, in parallel.
+// against one oracle, fanned out on the Workers pool. (The pool helper
+// keeps at most Workers attacks in flight; the previous hand-rolled
+// semaphore spawned every victim's goroutine up front.)
 func (s *Suite) runCell(factory AttackFactory, oracle core.Oracle, targetName string) (*Cell, error) {
 	cell := &Cell{Attack: factory.Name, Target: targetName}
-	workers := s.Cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	type out struct {
 		idx int
 		res *core.Result
 		err error
 	}
-	sem := make(chan struct{}, workers)
 	results := make([]out, len(s.Victims))
-	var wg sync.WaitGroup
-	for i, v := range s.Victims {
-		wg.Add(1)
-		go func(i int, raw []byte) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			atk, err := factory.New(s.Cfg.Seed + int64(i)*7919)
-			if err != nil {
-				results[i] = out{idx: i, err: err}
-				return
-			}
-			res, err := atk.Run(raw, &core.CountingOracle{Oracle: oracle})
-			results[i] = out{idx: i, res: res, err: err}
-		}(i, v.Raw)
-	}
-	wg.Wait()
+	parallel.ForEach(s.Cfg.Workers, len(s.Victims), func(i int) {
+		atk, err := factory.New(s.Cfg.Seed + int64(i)*7919)
+		if err != nil {
+			results[i] = out{idx: i, err: err}
+			return
+		}
+		res, err := atk.Run(s.Victims[i].Raw, &core.CountingOracle{Oracle: oracle})
+		results[i] = out{idx: i, res: res, err: err}
+	})
 
 	for _, r := range results {
 		if r.err != nil {

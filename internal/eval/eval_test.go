@@ -205,3 +205,18 @@ func TestMetricStrings(t *testing.T) {
 		t.Error("unknown metric name")
 	}
 }
+
+func TestConfigValidateRejectsNegativeWorkers(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Workers = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("Validate accepted Workers = -1")
+	}
+	if _, err := Setup(cfg); err == nil {
+		t.Error("Setup accepted Workers = -1")
+	}
+	cfg.Workers = 0
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("Validate rejected Workers = 0: %v", err)
+	}
+}

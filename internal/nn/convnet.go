@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"mpass/internal/parallel"
 	"mpass/internal/tensor"
 )
 
@@ -48,6 +49,12 @@ func (c ConvConfig) positions() int { return (c.SeqLen-c.Kernel)/c.Stride + 1 }
 // pooling — the MalConv architecture.
 type ConvNet struct {
 	Cfg ConvConfig
+
+	// Workers bounds the data parallelism of TrainBatch and PredictBatch
+	// (<= 0 selects GOMAXPROCS). Results are bit-identical for every value:
+	// the forward passes fan out, but losses and gradients are always
+	// accumulated in sample order.
+	Workers int
 
 	Embed        *tensor.Mat // 256 × D byte embeddings
 	ConvW, GateW *tensor.Mat // F × K·D
@@ -177,9 +184,7 @@ func (n *ConvNet) forward(raw []byte) *cache {
 		pooled: tensor.NewVec(F),
 	}
 	best := make(tensor.Vec, F)
-	for f := range best {
-		best[f] = math.Inf(-1)
-	}
+	best.Fill(math.Inf(-1))
 	w := tensor.NewVec(cfg.Kernel * cfg.EmbedDim)
 	for t := 0; t < T; t++ {
 		n.gather(x, t*cfg.Stride, w)
@@ -215,6 +220,17 @@ func (n *ConvNet) forward(raw []byte) *cache {
 
 // Predict returns the malware probability for raw bytes.
 func (n *ConvNet) Predict(raw []byte) float64 { return n.forward(raw).score }
+
+// PredictBatch scores every sample, fanning the (read-only) forward passes
+// across the Workers pool. Scores are returned in input order and are
+// identical to calling Predict per sample.
+func (n *ConvNet) PredictBatch(raws [][]byte) []float64 {
+	scores := make([]float64, len(raws))
+	parallel.ForEach(n.Workers, len(raws), func(i int) {
+		scores[i] = n.forward(raws[i]).score
+	})
+	return scores
+}
 
 // backward accumulates parameter gradients for one example with label y.
 // When inGrad is non-nil (length SeqLen*EmbedDim) it also accumulates the
@@ -285,14 +301,23 @@ func (n *ConvNet) backward(c *cache, y float64, inGrad tensor.Vec) {
 
 // TrainBatch performs one optimizer step on a minibatch and returns the
 // mean BCE loss. Labels are 1 for malware, 0 for benign.
+//
+// The batch is data-parallel: forward passes — the overwhelming share of
+// the arithmetic, since backward only revisits each filter's argmax window
+// — run concurrently on the Workers pool, while the loss and gradient
+// accumulation replay the cached forwards in sample order. Losses and
+// updated weights are therefore bit-identical for every worker count.
 func (n *ConvNet) TrainBatch(batch [][]byte, labels []float64, opt *Adam) float64 {
 	if len(batch) != len(labels) {
 		panic("nn: batch/label length mismatch")
 	}
+	caches := make([]*cache, len(batch))
+	parallel.ForEach(n.Workers, len(batch), func(i int) {
+		caches[i] = n.forward(batch[i])
+	})
 	n.zeroGrads()
 	var loss float64
-	for i, raw := range batch {
-		c := n.forward(raw)
+	for i, c := range caches {
 		loss += tensor.BCE(c.score, labels[i])
 		n.backward(c, labels[i], nil)
 	}

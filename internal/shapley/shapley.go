@@ -14,6 +14,7 @@ import (
 	"math"
 	"sort"
 
+	"mpass/internal/parallel"
 	"mpass/internal/pefile"
 )
 
@@ -31,9 +32,22 @@ type SectionScore struct {
 }
 
 // SectionShapley computes φ_{i,f,x} of Eq. 1 for every section of the
-// sample that appears in secNames. Subset scores are memoized, so the model
-// is evaluated at most 2^n times for n participating sections.
+// sample that appears in secNames, evaluating the model exactly 2^n times
+// for n participating sections. It is the single-threaded entry point;
+// see SectionShapleyWorkers for the pooled variant.
 func SectionShapley(raw []byte, secNames []string, score func([]byte) float64) (map[string]float64, error) {
+	return SectionShapleyWorkers(raw, secNames, score, 1)
+}
+
+// SectionShapleyWorkers is SectionShapley with the subset evaluations — the
+// entire cost of the computation — fanned out across a bounded worker pool
+// (workers <= 0 selects GOMAXPROCS). Every subset score is an independent
+// pure evaluation and the φ summation always walks the subset lattice in
+// the same order, so results are bit-identical for every worker count.
+//
+// score must be safe for concurrent calls; every Detector in this codebase
+// is read-only at scoring time and qualifies.
+func SectionShapleyWorkers(raw []byte, secNames []string, score func([]byte) float64, workers int) (map[string]float64, error) {
 	f, err := pefile.Parse(raw)
 	if err != nil {
 		return nil, fmt.Errorf("shapley: %w", err)
@@ -57,12 +71,11 @@ func SectionShapley(raw []byte, secNames []string, score func([]byte) float64) (
 		return nil, fmt.Errorf("shapley: %d sections exceeds exact-enumeration limit 16", n)
 	}
 
-	// ablated(mask) renders the sample with only the masked sections kept.
-	cacheRaw := make(map[uint32]float64, 1<<n)
-	ablated := func(mask uint32) float64 {
-		if v, ok := cacheRaw[mask]; ok {
-			return v
-		}
+	// Every mask in [0, 2^n) is needed by the φ summation below, so instead
+	// of memoizing lazily the table is filled up front, one independent
+	// ablated render + model evaluation per mask, in parallel.
+	ablated := make([]float64, 1<<n)
+	parallel.ForEach(workers, 1<<n, func(mask int) {
 		g := f.Clone()
 		for i, s := range present {
 			if mask&(1<<i) == 0 {
@@ -72,10 +85,8 @@ func SectionShapley(raw []byte, secNames []string, score func([]byte) float64) (
 				}
 			}
 		}
-		v := score(g.Bytes())
-		cacheRaw[mask] = v
-		return v
-	}
+		ablated[mask] = score(g.Bytes())
+	})
 
 	// Precompute the subset weights |ŝ|!(n−|ŝ|−1)!/n!.
 	fact := make([]float64, n+1)
@@ -97,7 +108,7 @@ func SectionShapley(raw []byte, secNames []string, score func([]byte) float64) (
 		// Enumerate subsets ŝ of the other sections.
 		for sub := uint32(0); ; sub = (sub - rest) & rest {
 			size := popcount(sub)
-			phi += weight[size] * (ablated(sub|bit) - ablated(sub))
+			phi += weight[size] * (ablated[sub|bit] - ablated[sub])
 			if sub == rest {
 				break
 			}
@@ -150,6 +161,9 @@ func CommonSections(samples [][]byte, topH int) ([]string, error) {
 type Config struct {
 	TopH int // most-common sections considered (paper: 30)
 	TopK int // per-model critical sections kept before intersecting
+	// Workers bounds the pool running Algorithm 1's (model, sample) Shapley
+	// computations and their subset evaluations (<= 0 = GOMAXPROCS).
+	Workers int
 }
 
 // DefaultConfig uses the paper's top-30 common-section cap with a top-3
@@ -185,17 +199,33 @@ func PEM(models []Model, samples [][]byte, cfg Config) (*Result, error) {
 		return nil, err
 	}
 
+	// Algorithm 1's dominant cost is the |models| × |samples| grid of
+	// exact Shapley computations. Each grid entry is independent, so the
+	// whole grid fans out over one pool; aggregation below then reads the
+	// results in (model, sample) order, keeping every average bit-identical
+	// to the nested serial loops.
+	phis := make([]map[string]float64, len(models)*len(samples))
+	gridErr := parallel.ForEachErr(cfg.Workers, len(phis), func(i int) error {
+		m, raw := models[i/len(samples)], samples[i%len(samples)]
+		phi, err := SectionShapleyWorkers(raw, common, m.Score, 1)
+		if err != nil {
+			return fmt.Errorf("model %s: %w", m.Name(), err)
+		}
+		phis[i] = phi
+		return nil
+	})
+	if gridErr != nil {
+		return nil, gridErr
+	}
+
 	res := &Result{Sections: common, PerModel: make(map[string][]SectionScore)}
 	inTopK := make(map[string]int) // section -> number of models ranking it top-k
 	meanAcross := make(map[string]float64)
 
-	for _, m := range models {
+	for mi, m := range models {
 		sums := make(map[string]float64, len(common))
-		for _, raw := range samples {
-			phi, err := SectionShapley(raw, common, m.Score)
-			if err != nil {
-				return nil, fmt.Errorf("model %s: %w", m.Name(), err)
-			}
+		for si := range samples {
+			phi := phis[mi*len(samples)+si]
 			for _, name := range common {
 				sums[name] += phi[name] // absent sections contribute 0
 			}

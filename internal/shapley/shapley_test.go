@@ -229,3 +229,71 @@ func TestPEMInputValidation(t *testing.T) {
 		t.Error("PEM accepted zero samples")
 	}
 }
+
+// TestSectionShapleyWorkerParity verifies the parallel subset-table path
+// produces bit-identical Shapley values for every worker count.
+func TestSectionShapleyWorkerParity(t *testing.T) {
+	raw := sample(t, 9)
+	score := sectionMassScore(map[string]float64{".text": 2, ".data": 1.5, ".rdata": 0.4})
+	secs := []string{".text", ".data", ".rdata", ".idata"}
+	ref, err := SectionShapleyWorkers(raw, secs, score, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 8} {
+		got, err := SectionShapleyWorkers(raw, secs, score, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("workers=%d: %d sections, want %d", workers, len(got), len(ref))
+		}
+		for name, v := range ref {
+			if got[name] != v {
+				t.Errorf("workers=%d: phi[%s] = %v, want %v (bit-identical)", workers, name, got[name], v)
+			}
+		}
+	}
+}
+
+// TestPEMWorkerParity checks Algorithm 1 end to end across worker counts:
+// per-model averages, rankings, and the critical intersection must match
+// the serial run exactly.
+func TestPEMWorkerParity(t *testing.T) {
+	m1 := &fakeModel{"m1", sectionMassScore(map[string]float64{".text": 3, ".data": 2})}
+	m2 := &fakeModel{"m2", sectionMassScore(map[string]float64{".text": 2, ".data": 2.5, ".rdata": 0.2})}
+	g := corpus.NewGenerator(12)
+	var samples [][]byte
+	for i := 0; i < 4; i++ {
+		samples = append(samples, g.Sample(corpus.Malware).Raw)
+	}
+	ref, err := PEM([]Model{m1, m2}, samples, Config{TopH: 8, TopK: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 6} {
+		got, err := PEM([]Model{m1, m2}, samples, Config{TopH: 8, TopK: 2, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Critical) != len(ref.Critical) {
+			t.Fatalf("workers=%d: Critical %v, want %v", workers, got.Critical, ref.Critical)
+		}
+		for i := range ref.Critical {
+			if got.Critical[i] != ref.Critical[i] {
+				t.Errorf("workers=%d: Critical[%d] = %s, want %s", workers, i, got.Critical[i], ref.Critical[i])
+			}
+		}
+		for name, ranked := range ref.PerModel {
+			gr := got.PerModel[name]
+			if len(gr) != len(ranked) {
+				t.Fatalf("workers=%d: model %s ranking length mismatch", workers, name)
+			}
+			for i := range ranked {
+				if gr[i] != ranked[i] {
+					t.Errorf("workers=%d: %s rank %d = %+v, want %+v", workers, name, i, gr[i], ranked[i])
+				}
+			}
+		}
+	}
+}

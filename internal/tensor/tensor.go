@@ -27,6 +27,27 @@ func (v Vec) Zero() {
 	}
 }
 
+// Fill sets every element to x.
+func (v Vec) Fill(x float64) {
+	for i := range v {
+		v[i] = x
+	}
+}
+
+// Equal reports exact element-wise equality — the bit-identity check the
+// serial-vs-parallel parity tests rest on.
+func (v Vec) Equal(w Vec) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i, x := range v {
+		if x != w[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Dot returns the inner product of v and w; the slices must match in length.
 func Dot(v, w Vec) float64 {
 	if len(v) != len(w) {

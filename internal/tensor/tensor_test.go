@@ -145,3 +145,22 @@ func TestZeroAndScaleAndNorm(t *testing.T) {
 		t.Errorf("Zero = %v", v)
 	}
 }
+
+func TestFillAndEqual(t *testing.T) {
+	v := NewVec(4)
+	v.Fill(2.5)
+	for _, x := range v {
+		if x != 2.5 {
+			t.Fatalf("Fill = %v", v)
+		}
+	}
+	if !v.Equal(Vec{2.5, 2.5, 2.5, 2.5}) {
+		t.Error("Equal false on identical vectors")
+	}
+	if v.Equal(Vec{2.5, 2.5}) {
+		t.Error("Equal true across lengths")
+	}
+	if v.Equal(Vec{2.5, 2.5, 2.5, 2.6}) {
+		t.Error("Equal true on differing vectors")
+	}
+}
