@@ -9,7 +9,11 @@ GO ?= go
 PARALLEL_PKGS = ./internal/parallel ./internal/tensor ./internal/nn \
                 ./internal/shapley ./internal/detect ./internal/av
 
-.PHONY: all build vet test race race-all bench bench-full ci
+# BENCH_N.json names follow the PR sequence; bench-json overwrites the
+# current one.
+BENCH_JSON ?= BENCH_2.json
+
+.PHONY: all build vet test race race-all bench bench-full bench-json alloc ci
 
 all: build
 
@@ -38,4 +42,16 @@ bench:
 bench-full:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
-ci: build vet test race bench
+# bench-json runs the inference-engine benchmarks and writes a
+# machine-readable report (ns/op, B/op, allocs/op) for regression diffing.
+bench-json:
+	$(GO) test -run '^$$' \
+		-bench 'DetectorPredict$$|InputGradient$$|ShapleySample$$' \
+		-benchmem -count=1 . | $(GO) run ./cmd/benchjson -out $(BENCH_JSON)
+
+# alloc is the allocation-regression gate: the scoring and gradient hot
+# paths must stay zero-allocation in steady state.
+alloc:
+	$(GO) test -run 'ZeroAlloc' -count=1 ./internal/nn
+
+ci: build vet test race alloc bench

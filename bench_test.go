@@ -335,7 +335,7 @@ func BenchmarkInputGradient(b *testing.B) {
 	raw := benchVictim(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.MalConv.InputGradient(raw, 0)
+		s.MalConv.InputGradient(raw, 0).Release()
 	}
 }
 

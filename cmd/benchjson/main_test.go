@@ -1,0 +1,41 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	r, ok := parseLine("BenchmarkDetectorPredict-8   \t    1814\t   1545457 ns/op\t   17120 B/op\t       8 allocs/op")
+	if !ok {
+		t.Fatal("benchmark line rejected")
+	}
+	if r.Name != "BenchmarkDetectorPredict" || r.Iterations != 1814 || r.NsPerOp != 1545457 {
+		t.Fatalf("parsed %+v", r)
+	}
+	if r.BytesPerOp == nil || *r.BytesPerOp != 17120 || r.AllocsPerOp == nil || *r.AllocsPerOp != 8 {
+		t.Fatalf("memory stats wrong: %+v", r)
+	}
+
+	// Custom b.ReportMetric units land in Metrics; sub-benchmark names keep
+	// their slash but lose only the trailing -GOMAXPROCS.
+	r, ok = parseLine("BenchmarkTrainBatchParallel/workers=4-8  12  9000000 ns/op  1234.5 samples/sec")
+	if !ok {
+		t.Fatal("sub-benchmark line rejected")
+	}
+	if r.Name != "BenchmarkTrainBatchParallel/workers=4" {
+		t.Fatalf("name = %q", r.Name)
+	}
+	if r.Metrics["samples/sec"] != 1234.5 {
+		t.Fatalf("metrics = %v", r.Metrics)
+	}
+
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \tmpass\t1.2s",
+		"",
+		"--- FAIL: TestX",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("non-benchmark line %q accepted", line)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"mpass/internal/detect"
+	"mpass/internal/nn"
+	"mpass/internal/tensor"
+)
+
+// TestByteScoreMatVecParity pins the byte-selection rewrite: scoring all 256
+// candidate bytes with one embedding-table mat-vec per model must agree
+// bit-for-bit with the per-byte byteScore reference, including positions
+// beyond a shorter model's window (the seqLen skip path).
+func TestByteScoreMatVecParity(t *testing.T) {
+	mkDet := func(name string, cfg nn.ConvConfig) *detect.ConvDetector {
+		t.Helper()
+		net, err := nn.NewConvNet(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &detect.ConvDetector{ModelName: name, Net: net, Threshold: 0.5}
+	}
+	// Different SeqLens so some probed positions fall outside the shorter
+	// model's window; untrained weights are as good as trained ones for an
+	// arithmetic-identity check.
+	models := []detect.GradientModel{
+		mkDet("short", nn.ConvConfig{SeqLen: 64, EmbedDim: 3, Kernel: 8, Stride: 8, Filters: 4, Seed: 31}),
+		mkDet("long", nn.ConvConfig{SeqLen: 256, EmbedDim: 5, Kernel: 16, Stride: 8, Filters: 6, Hidden: 4, Seed: 32}),
+	}
+
+	rng := rand.New(rand.NewSource(123))
+	raw := make([]byte, 300)
+	rng.Read(raw)
+
+	gs := make([]modelGrad, len(models))
+	for mi, m := range models {
+		ig := m.InputGradient(raw, 0)
+		defer ig.Release()
+		gs[mi] = modelGrad{g: ig.Grad, dim: m.EmbedDim(), seqLen: m.SeqLen()}
+	}
+
+	perModel := make(tensor.Vec, 256)
+	scores := make(tensor.Vec, 256)
+	// Positions inside both windows, inside only the long model's, and
+	// outside both (every model skipped, scores all zero).
+	for _, p := range []int{0, 17, 63, 64, 200, 255, 256, 280} {
+		scores.Zero()
+		for mi, m := range models {
+			if p >= gs[mi].seqLen {
+				continue
+			}
+			d := gs[mi].dim
+			m.EmbedMatrix().MatVecInto(gs[mi].g[p*d:(p+1)*d], perModel)
+			for b := range scores {
+				scores[b] += perModel[b]
+			}
+		}
+		for b := 0; b < 256; b++ {
+			want := byteScore(gs, models, p, byte(b))
+			if scores[b] != want {
+				t.Fatalf("pos %d byte %d: mat-vec score %v != byteScore %v", p, b, scores[b], want)
+			}
+		}
+	}
+}

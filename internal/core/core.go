@@ -25,8 +25,10 @@ import (
 	"sort"
 
 	"mpass/internal/detect"
+	"mpass/internal/nn"
 	"mpass/internal/pefile"
 	"mpass/internal/recovery"
+	"mpass/internal/tensor"
 )
 
 // Oracle is the hard-label black-box target: one bit per query.
@@ -482,11 +484,23 @@ func (a *Attacker) optimizablePositions(f *pefile.File, lay *recovery.Layout, ta
 // delta (Eq. 2's M matrix), so the candidate stays function-preserving.
 func (a *Attacker) optimize(raw []byte, positions []int, keyOf map[int]int) {
 	models := a.cfg.Known
+	gs := make([]modelGrad, len(models))
+	igs := make([]*nn.InputGrad, len(models))
+	releaseGrads := func() {
+		for i, ig := range igs {
+			if ig != nil {
+				ig.Release()
+				igs[i] = nil
+			}
+		}
+	}
+	defer releaseGrads()
 	for iter := 0; iter < a.cfg.Iterations; iter++ {
-		gs := make([]modelGrad, len(models))
+		releaseGrads() // previous iteration's gradients are spent
 		bypassAll := true
 		for mi, m := range models {
 			ig := m.InputGradient(raw, 0)
+			igs[mi] = ig
 			gs[mi] = modelGrad{g: ig.Grad, dim: m.EmbedDim(), seqLen: m.SeqLen()}
 			if ig.Score >= 0.5 {
 				bypassAll = false
@@ -522,11 +536,25 @@ func (a *Attacker) optimize(raw []byte, positions []int, keyOf map[int]int) {
 		}
 
 		changed := false
-		scores := make([]float64, 256)
+		scores := make(tensor.Vec, 256)
+		perModel := make(tensor.Vec, 256)
 		for _, pm := range ranked {
 			p := pm.pos
-			for b := 0; b < 256; b++ {
-				scores[b] = byteScore(gs, models, p, byte(b))
+			// All 256 candidate scores at once: per model, one 256×D mat-vec
+			// of the embedding table against the gradient segment, summed
+			// across the ensemble. Bit-identical to (and much cheaper than)
+			// 256 separate byteScore calls — multiplication commutes and the
+			// per-byte accumulation order is unchanged.
+			scores.Zero()
+			for mi, m := range models {
+				if p >= gs[mi].seqLen {
+					continue
+				}
+				d := gs[mi].dim
+				m.EmbedMatrix().MatVecInto(gs[mi].g[p*d:(p+1)*d], perModel)
+				for b := range scores {
+					scores[b] += perModel[b]
+				}
 			}
 			// Choose uniformly among the near-optimal bytes rather than the
 			// strict argmin: a deterministic argmin makes independent AEs
@@ -582,6 +610,10 @@ type posMass struct {
 // byteScore is the linearized ensemble loss of placing byte b at position
 // p: Σ_m <∇_m[p], embed_m[b]>. Minimizing it over b is the paper's
 // "map the optimized feature vector back to discrete bytes" step.
+//
+// optimize computes the same quantity for all 256 bytes with one mat-vec
+// per model; this per-byte form is kept as the reference the parity test
+// checks the vectorized path against.
 func byteScore(gs []modelGrad, models []detect.GradientModel, p int, b byte) float64 {
 	var s float64
 	for mi, m := range models {

@@ -92,6 +92,10 @@ type GradientModel interface {
 	Detector
 	InputGradient(raw []byte, target float64) *nn.InputGrad
 	EmbedRow(b byte) tensor.Vec
+	// EmbedMatrix exposes the full 256×EmbedDim embedding table (read-only;
+	// aliases model storage) so the attack's byte-mapping step can score all
+	// 256 candidate bytes with one mat-vec.
+	EmbedMatrix() *tensor.Mat
 	SeqLen() int
 	EmbedDim() int
 }
@@ -127,6 +131,9 @@ func (d *ConvDetector) InputGradient(raw []byte, target float64) *nn.InputGrad {
 
 // EmbedRow implements GradientModel.
 func (d *ConvDetector) EmbedRow(b byte) tensor.Vec { return d.Net.EmbedRow(b) }
+
+// EmbedMatrix implements GradientModel.
+func (d *ConvDetector) EmbedMatrix() *tensor.Mat { return d.Net.EmbedMatrix() }
 
 // SeqLen implements GradientModel.
 func (d *ConvDetector) SeqLen() int { return d.Net.SeqLen() }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"mpass/internal/parallel"
 	"mpass/internal/tensor"
@@ -69,6 +71,24 @@ type ConvNet struct {
 	gConvB, gGateB         tensor.Vec
 	gHidW                  *tensor.Mat
 	gHidB, gOutW, gOutB    tensor.Vec
+
+	// Inference fast path (fastpath.go). weightVersion counts weight
+	// mutations; tab caches the byte-response tables built at a specific
+	// version, so any training step transparently invalidates them.
+	weightVersion uint64
+	tab           atomic.Pointer[respTable]
+	tabMu         sync.Mutex
+
+	// Reusable per-call buffers: scratchPool holds forward/backward scratch
+	// (one per in-flight forward), igPool recycles InputGrad results after
+	// Release. Both make steady-state Predict and InputGradient allocation
+	// free.
+	scratchPool sync.Pool
+	igPool      sync.Pool
+
+	// paramList/gradList are the fixed param/grad slice sets, built once so
+	// params()/grads() don't allocate on the zeroGrads hot path.
+	paramList, gradList []tensor.Vec
 }
 
 // NewConvNet builds and randomly initializes the network.
@@ -115,20 +135,26 @@ func NewConvNet(cfg ConvConfig) (*ConvNet, error) {
 }
 
 // params and grads expose the trainable state in a fixed order for Adam.
+// The slice sets are built once (the underlying storage never moves) so the
+// accessors stay off every hot path's allocation profile.
 func (n *ConvNet) params() []tensor.Vec {
-	ps := []tensor.Vec{n.Embed.Data, n.ConvW.Data, n.GateW.Data, n.ConvB, n.GateB, n.OutW, n.OutB}
-	if n.HidW != nil {
-		ps = append(ps, n.HidW.Data, n.HidB)
+	if n.paramList == nil {
+		n.paramList = []tensor.Vec{n.Embed.Data, n.ConvW.Data, n.GateW.Data, n.ConvB, n.GateB, n.OutW, n.OutB}
+		if n.HidW != nil {
+			n.paramList = append(n.paramList, n.HidW.Data, n.HidB)
+		}
 	}
-	return ps
+	return n.paramList
 }
 
 func (n *ConvNet) grads() []tensor.Vec {
-	gs := []tensor.Vec{n.gEmbed.Data, n.gConvW.Data, n.gGateW.Data, n.gConvB, n.gGateB, n.gOutW, n.gOutB}
-	if n.HidW != nil {
-		gs = append(gs, n.gHidW.Data, n.gHidB)
+	if n.gradList == nil {
+		n.gradList = []tensor.Vec{n.gEmbed.Data, n.gConvW.Data, n.gGateW.Data, n.gConvB, n.gGateB, n.gOutW, n.gOutB}
+		if n.HidW != nil {
+			n.gradList = append(n.gradList, n.gHidW.Data, n.gHidB)
+		}
 	}
-	return gs
+	return n.gradList
 }
 
 func (n *ConvNet) zeroGrads() {
@@ -138,14 +164,18 @@ func (n *ConvNet) zeroGrads() {
 }
 
 // pad truncates or zero-pads raw bytes to SeqLen. The zero byte doubles as
-// the padding symbol, as in MalConv.
-func (n *ConvNet) pad(b []byte) []byte {
+// the padding symbol, as in MalConv. Short inputs are padded into the
+// scratch buffer, so no per-call allocation happens either way.
+func (n *ConvNet) pad(b []byte, sc *scratch) []byte {
 	L := n.Cfg.SeqLen
 	if len(b) >= L {
 		return b[:L]
 	}
-	out := make([]byte, L)
+	out := sc.padBuf
 	copy(out, b)
+	for i := len(b); i < L; i++ {
+		out[i] = 0
+	}
 	return out
 }
 
@@ -170,27 +200,42 @@ func (n *ConvNet) gather(x []byte, pos int, w tensor.Vec) {
 	}
 }
 
-// forward runs the full network, returning a backward-ready cache.
-func (n *ConvNet) forward(raw []byte) *cache {
+// forward runs the full network through the direct (weight-reading) path,
+// filling the scratch-owned cache. It is the path training uses, since
+// weights move every step.
+//
+// The convolution dot products accumulate in offset-blocked order — one
+// partial sum per kernel offset j over the EmbedDim lanes, folded in j
+// order, bias last — exactly the order the lookup-table path adds its
+// precomputed per-offset responses. The two paths are therefore
+// bit-identical, which keeps the repo-wide parity guarantee intact no
+// matter which path a call site takes.
+func (n *ConvNet) forward(raw []byte, sc *scratch) *cache {
 	cfg := n.Cfg
-	x := n.pad(raw)
+	c := &sc.c
+	c.x = n.pad(raw, sc)
 	T := cfg.positions()
 	F := cfg.Filters
-	c := &cache{
-		x:      x,
-		argmax: make([]int, F),
-		cVal:   tensor.NewVec(F),
-		gVal:   tensor.NewVec(F),
-		pooled: tensor.NewVec(F),
-	}
-	best := make(tensor.Vec, F)
+	K, d := cfg.Kernel, cfg.EmbedDim
+	best := sc.best
 	best.Fill(math.Inf(-1))
-	w := tensor.NewVec(cfg.Kernel * cfg.EmbedDim)
+	w := sc.w
 	for t := 0; t < T; t++ {
-		n.gather(x, t*cfg.Stride, w)
+		n.gather(c.x, t*cfg.Stride, w)
 		for f := 0; f < F; f++ {
-			cv := tensor.Dot(n.ConvW.Row(f), w) + n.ConvB[f]
-			gv := tensor.Dot(n.GateW.Row(f), w) + n.GateB[f]
+			cw, gw := n.ConvW.Row(f), n.GateW.Row(f)
+			var cv, gv float64
+			for j := 0; j < K; j++ {
+				var pc, pg float64
+				for k := j * d; k < (j+1)*d; k++ {
+					pc += cw[k] * w[k]
+					pg += gw[k] * w[k]
+				}
+				cv += pc
+				gv += pg
+			}
+			cv += n.ConvB[f]
+			gv += n.GateB[f]
 			h := cv * tensor.Sigmoid(gv)
 			if h > best[f] {
 				best[f] = h
@@ -201,9 +246,15 @@ func (n *ConvNet) forward(raw []byte) *cache {
 		}
 	}
 	copy(c.pooled, best)
+	n.head(c)
+	return c
+}
 
+// head applies the dense layers on top of the pooled activations — shared by
+// the direct and table forward paths.
+func (n *ConvNet) head(c *cache) {
 	if n.HidW != nil {
-		c.hidden = n.HidW.MatVec(c.pooled)
+		n.HidW.MatVecInto(c.pooled, c.hidden)
 		for i := range c.hidden {
 			c.hidden[i] += n.HidB[i]
 			if c.hidden[i] < 0 {
@@ -215,41 +266,56 @@ func (n *ConvNet) forward(raw []byte) *cache {
 		c.logit = tensor.Dot(n.OutW, c.pooled) + n.OutB[0]
 	}
 	c.score = tensor.Sigmoid(c.logit)
-	return c
 }
 
-// Predict returns the malware probability for raw bytes.
-func (n *ConvNet) Predict(raw []byte) float64 { return n.forward(raw).score }
+// Predict returns the malware probability for raw bytes, through the
+// lookup-table fast path. Steady state allocates nothing.
+func (n *ConvNet) Predict(raw []byte) float64 {
+	sc := n.getScratch()
+	score := n.forwardTable(raw, n.tables(), sc).score
+	n.putScratch(sc)
+	return score
+}
 
-// PredictBatch scores every sample, fanning the (read-only) forward passes
-// across the Workers pool. Scores are returned in input order and are
-// identical to calling Predict per sample.
+// PredictBatch scores every sample, fanning the (read-only) table-path
+// forward passes across the Workers pool. Scores are returned in input order
+// and are identical to calling Predict per sample.
 func (n *ConvNet) PredictBatch(raws [][]byte) []float64 {
 	scores := make([]float64, len(raws))
+	if len(raws) == 0 {
+		return scores
+	}
+	tab := n.tables()
 	parallel.ForEach(n.Workers, len(raws), func(i int) {
-		scores[i] = n.forward(raws[i]).score
+		sc := n.getScratch()
+		scores[i] = n.forwardTable(raws[i], tab, sc).score
+		n.putScratch(sc)
 	})
 	return scores
 }
 
 // backward accumulates parameter gradients for one example with label y.
 // When inGrad is non-nil (length SeqLen*EmbedDim) it also accumulates the
-// gradient of the loss with respect to the embedded input.
-func (n *ConvNet) backward(c *cache, y float64, inGrad tensor.Vec) {
+// gradient of the loss with respect to the embedded input. sc provides the
+// reusable gather and delta buffers; it may be the scratch that produced c
+// or any other scratch of this network.
+func (n *ConvNet) backward(c *cache, y float64, inGrad tensor.Vec, sc *scratch) {
 	cfg := n.Cfg
 	delta := c.score - y // dLoss/dlogit for BCE + sigmoid
 
-	var dPooled tensor.Vec
+	dPooled := sc.dPooled
+	dPooled.Zero()
 	if n.HidW != nil {
 		n.gOutB[0] += delta
 		tensor.Axpy(delta, c.hidden, n.gOutW)
-		dHid := tensor.NewVec(cfg.Hidden)
+		dHid := sc.dHid
 		for i := range dHid {
 			if c.hidden[i] > 0 {
 				dHid[i] = delta * n.OutW[i]
+			} else {
+				dHid[i] = 0
 			}
 		}
-		dPooled = tensor.NewVec(cfg.Filters)
 		for i := 0; i < cfg.Hidden; i++ {
 			if dHid[i] == 0 {
 				continue
@@ -261,11 +327,10 @@ func (n *ConvNet) backward(c *cache, y float64, inGrad tensor.Vec) {
 	} else {
 		n.gOutB[0] += delta
 		tensor.Axpy(delta, c.pooled, n.gOutW)
-		dPooled = tensor.NewVec(cfg.Filters)
 		tensor.Axpy(delta, n.OutW, dPooled)
 	}
 
-	w := tensor.NewVec(cfg.Kernel * cfg.EmbedDim)
+	w := sc.w
 	d := cfg.EmbedDim
 	for f := 0; f < cfg.Filters; f++ {
 		if dPooled[f] == 0 {
@@ -311,16 +376,21 @@ func (n *ConvNet) TrainBatch(batch [][]byte, labels []float64, opt *Adam) float6
 	if len(batch) != len(labels) {
 		panic("nn: batch/label length mismatch")
 	}
-	caches := make([]*cache, len(batch))
+	scratches := make([]*scratch, len(batch))
 	parallel.ForEach(n.Workers, len(batch), func(i int) {
-		caches[i] = n.forward(batch[i])
+		sc := n.getScratch()
+		n.forward(batch[i], sc)
+		scratches[i] = sc
 	})
 	n.zeroGrads()
 	var loss float64
-	for i, c := range caches {
-		loss += tensor.BCE(c.score, labels[i])
-		n.backward(c, labels[i], nil)
+	bw := n.getScratch()
+	for i, sc := range scratches {
+		loss += tensor.BCE(sc.c.score, labels[i])
+		n.backward(&sc.c, labels[i], nil, bw)
+		n.putScratch(sc)
 	}
+	n.putScratch(bw)
 	inv := 1 / float64(len(batch))
 	for _, g := range n.grads() {
 		g.Scale(inv)
@@ -329,6 +399,7 @@ func (n *ConvNet) TrainBatch(batch [][]byte, labels []float64, opt *Adam) float6
 	if n.Cfg.NonNeg {
 		n.clampNonNeg()
 	}
+	n.MarkWeightsChanged()
 	return loss * inv
 }
 
@@ -356,28 +427,49 @@ type InputGrad struct {
 	Grad  tensor.Vec // SeqLen × EmbedDim, row-major by byte position
 	Loss  float64
 	Score float64
+
+	pool *sync.Pool // recycle target set by the producing network
+}
+
+// Release returns the InputGrad's buffers to the producing network for
+// reuse. After Release the receiver (including Grad) must not be read. It is
+// optional — unreleased results are simply collected — but hot loops that
+// release keep steady-state InputGradient allocation free.
+func (ig *InputGrad) Release() {
+	if ig.pool != nil {
+		ig.pool.Put(ig)
+	}
 }
 
 // InputGradient computes dBCE(f(x), target)/d embed(x). target is the class
 // the attacker steers toward: 0 (benign) for evasion.
+//
+// The forward pass rides the lookup-table fast path, and the returned
+// InputGrad comes from a recycle pool (see Release); a loop that releases
+// each result allocates nothing in steady state.
 func (n *ConvNet) InputGradient(raw []byte, target float64) *InputGrad {
-	c := n.forward(raw)
-	ig := &InputGrad{
-		Grad:  tensor.NewVec(n.Cfg.SeqLen * n.Cfg.EmbedDim),
-		Loss:  tensor.BCE(c.score, target),
-		Score: c.score,
-	}
+	sc := n.getScratch()
+	c := n.forwardTable(raw, n.tables(), sc)
+	ig := n.getInputGrad()
+	ig.Loss = tensor.BCE(c.score, target)
+	ig.Score = c.score
 	// backward also accumulates into parameter grad buffers; zero them
 	// first and discard afterwards so training state is unaffected.
 	n.zeroGrads()
-	n.backward(c, target, ig.Grad)
+	n.backward(c, target, ig.Grad, sc)
 	n.zeroGrads()
+	n.putScratch(sc)
 	return ig
 }
 
 // EmbedRow returns byte b's embedding vector (aliasing internal storage;
 // callers must not modify it).
 func (n *ConvNet) EmbedRow(b byte) tensor.Vec { return n.Embed.Row(int(b)) }
+
+// EmbedMatrix returns the full 256×EmbedDim byte-embedding table, aliasing
+// internal storage. Callers must treat it as read-only; mutating it without
+// MarkWeightsChanged leaves the inference tables stale.
+func (n *ConvNet) EmbedMatrix() *tensor.Mat { return n.Embed }
 
 // SeqLen returns the model's input window in bytes.
 func (n *ConvNet) SeqLen() int { return n.Cfg.SeqLen }

@@ -180,13 +180,18 @@ func TestInputGradientNumeric(t *testing.T) {
 	}
 	bVal := int(x[pos])
 	const h = 1e-5
+	// Direct weight edits bypass TrainBatch, so the inference tables must be
+	// invalidated by hand after every Set.
 	for k := 0; k < cfg.EmbedDim; k++ {
 		orig := n.Embed.At(bVal, k)
 		n.Embed.Set(bVal, k, orig+h)
+		n.MarkWeightsChanged()
 		lp := tensor.BCE(n.Predict(x), 0)
 		n.Embed.Set(bVal, k, orig-h)
+		n.MarkWeightsChanged()
 		lm := tensor.BCE(n.Predict(x), 0)
 		n.Embed.Set(bVal, k, orig)
+		n.MarkWeightsChanged()
 		num := (lp - lm) / (2 * h)
 		ana := ig.Grad[pos*cfg.EmbedDim+k]
 		if math.Abs(num-ana) > 1e-4*(1+math.Abs(num)) {
@@ -219,10 +224,12 @@ func TestPadTruncates(t *testing.T) {
 	for i := range long {
 		long[i] = byte(i)
 	}
-	if got := len(n.pad(long)); got != 128 {
+	sc := n.getScratch()
+	defer n.putScratch(sc)
+	if got := len(n.pad(long, sc)); got != 128 {
 		t.Errorf("pad kept %d bytes, want 128", got)
 	}
-	if got := len(n.pad([]byte{1})); got != 128 {
+	if got := len(n.pad([]byte{1}, sc)); got != 128 {
 		t.Errorf("pad gave %d bytes, want 128", got)
 	}
 }

@@ -1,0 +1,209 @@
+package nn
+
+import (
+	"math"
+
+	"mpass/internal/tensor"
+)
+
+// This file is the ConvNet inference engine: a lookup-table fast path used
+// whenever weights are frozen (Predict, PredictBatch, InputGradient — and
+// through them detect's Score/ScoreBatch/Label), plus the pooled scratch
+// buffers that make those calls allocation free in steady state.
+//
+// The gated convolution at window position t computes, per filter f,
+//
+//	cv[f] = Σ_j dot(ConvW_f[j·D:(j+1)·D], Embed[x[t·S+j]]) + ConvB[f]
+//
+// (and the gate counterpart). The inner dot depends only on the kernel
+// offset j and the byte value b = x[t·S+j], so for frozen weights every one
+// of the K·256 possible (offset, byte) responses is precomputed once into
+// respTable: P[j][b][f] for the conv weights, and the same for the gate.
+// A window then costs K row additions of length F instead of a K·D gather
+// copy plus two K·D-multiply dots per filter — the EmbedDim factor leaves
+// the hot loop entirely.
+//
+// Both paths fold partial sums in the same order (per-offset partials in j
+// order, bias last; see ConvNet.forward), so table and direct scores are
+// bit-identical. fastpath_test.go enforces this.
+
+// respTable holds the precomputed per-(kernel-offset, byte) filter
+// responses for one weight version. Entries are indexed [(j*256+b)*F + f].
+type respTable struct {
+	version uint64
+	conv    []float64
+	gate    []float64
+}
+
+// MarkWeightsChanged invalidates the inference tables. TrainBatch calls it
+// after every optimizer step; callers that mutate weights directly (Adam.Step
+// on params(), embedding edits, weight surgery) must call it themselves
+// before the next inference, or the fast path will keep serving the old
+// weights.
+func (n *ConvNet) MarkWeightsChanged() { n.weightVersion++ }
+
+// WeightVersion returns the current weight-mutation counter. It only moves
+// when TrainBatch or MarkWeightsChanged run, so equal versions imply the
+// inference tables are still valid.
+func (n *ConvNet) WeightVersion() uint64 { return n.weightVersion }
+
+// tables returns byte-response tables for the current weights, building them
+// on first use and after every weight change. Concurrent frozen-weight
+// callers are safe: the double-checked build runs once and is published
+// through an atomic pointer.
+func (n *ConvNet) tables() *respTable {
+	if t := n.tab.Load(); t != nil && t.version == n.weightVersion {
+		return t
+	}
+	n.tabMu.Lock()
+	defer n.tabMu.Unlock()
+	if t := n.tab.Load(); t != nil && t.version == n.weightVersion {
+		return t
+	}
+	t := n.buildTables()
+	n.tab.Store(t)
+	return t
+}
+
+// buildTables precomputes the per-offset byte responses. Cost is
+// K·256·F·D multiplies — for the repo's detector sizes, well under the
+// arithmetic of a single forward pass — and the accumulation order of each
+// entry matches one offset-blocked partial of the direct path exactly.
+func (n *ConvNet) buildTables() *respTable {
+	cfg := n.Cfg
+	K, d, F := cfg.Kernel, cfg.EmbedDim, cfg.Filters
+	t := &respTable{
+		version: n.weightVersion,
+		conv:    make([]float64, K*256*F),
+		gate:    make([]float64, K*256*F),
+	}
+	for j := 0; j < K; j++ {
+		base := j * d
+		for b := 0; b < 256; b++ {
+			row := n.Embed.Row(b)
+			off := (j*256 + b) * F
+			cOut := t.conv[off : off+F]
+			gOut := t.gate[off : off+F]
+			for f := 0; f < F; f++ {
+				cw, gw := n.ConvW.Row(f), n.GateW.Row(f)
+				var pc, pg float64
+				for k := 0; k < d; k++ {
+					pc += cw[base+k] * row[k]
+					pg += gw[base+k] * row[k]
+				}
+				cOut[f] = pc
+				gOut[f] = pg
+			}
+		}
+	}
+	return t
+}
+
+// forwardTable is the frozen-weight forward pass over precomputed response
+// tables. It fills the same backward-ready cache as the direct path and is
+// bit-identical to it.
+func (n *ConvNet) forwardTable(raw []byte, tab *respTable, sc *scratch) *cache {
+	cfg := n.Cfg
+	c := &sc.c
+	c.x = n.pad(raw, sc)
+	T := cfg.positions()
+	F := cfg.Filters
+	K := cfg.Kernel
+	best := sc.best
+	best.Fill(math.Inf(-1))
+	winC, winG := sc.winC, sc.winG
+	x := c.x
+	for t := 0; t < T; t++ {
+		pos := t * cfg.Stride
+		winC.Zero()
+		winG.Zero()
+		for j := 0; j < K; j++ {
+			off := (j*256 + int(x[pos+j])) * F
+			cRow := tab.conv[off : off+F]
+			gRow := tab.gate[off : off+F]
+			for f := 0; f < F; f++ {
+				winC[f] += cRow[f]
+				winG[f] += gRow[f]
+			}
+		}
+		for f := 0; f < F; f++ {
+			cv := winC[f] + n.ConvB[f]
+			gv := winG[f] + n.GateB[f]
+			h := cv * tensor.Sigmoid(gv)
+			if h > best[f] {
+				best[f] = h
+				c.argmax[f] = t
+				c.cVal[f] = cv
+				c.gVal[f] = gv
+			}
+		}
+	}
+	copy(c.pooled, best)
+	n.head(c)
+	return c
+}
+
+// scratch bundles every buffer one forward (and optionally backward) pass
+// needs: the cache of intermediates, the padded-input and gather buffers,
+// per-window accumulators for the table path, and the backward delta
+// vectors. Instances recycle through ConvNet.scratchPool.
+type scratch struct {
+	c          cache
+	padBuf     []byte
+	w          tensor.Vec // Kernel×EmbedDim gather buffer (direct + backward)
+	best       tensor.Vec // Filters: running max-pool values
+	winC, winG tensor.Vec // Filters: per-window pre-activation accumulators
+	dPooled    tensor.Vec // Filters: backward delta
+	dHid       tensor.Vec // Hidden: backward delta (nil without hidden layer)
+}
+
+// getScratch returns a scratch sized for this network, recycled when
+// possible. Safe for concurrent use from pool workers.
+func (n *ConvNet) getScratch() *scratch {
+	if v := n.scratchPool.Get(); v != nil {
+		return v.(*scratch)
+	}
+	cfg := n.Cfg
+	F := cfg.Filters
+	sc := &scratch{
+		padBuf:  make([]byte, cfg.SeqLen),
+		w:       tensor.NewVec(cfg.Kernel * cfg.EmbedDim),
+		best:    tensor.NewVec(F),
+		winC:    tensor.NewVec(F),
+		winG:    tensor.NewVec(F),
+		dPooled: tensor.NewVec(F),
+		c: cache{
+			argmax: make([]int, F),
+			cVal:   tensor.NewVec(F),
+			gVal:   tensor.NewVec(F),
+			pooled: tensor.NewVec(F),
+		},
+	}
+	if cfg.Hidden > 0 {
+		sc.c.hidden = tensor.NewVec(cfg.Hidden)
+		sc.dHid = tensor.NewVec(cfg.Hidden)
+	}
+	return sc
+}
+
+// putScratch recycles sc. The cached input alias is dropped so the pool
+// never pins caller byte slices.
+func (n *ConvNet) putScratch(sc *scratch) {
+	sc.c.x = nil
+	n.scratchPool.Put(sc)
+}
+
+// getInputGrad returns a zeroed InputGrad sized for this network, recycled
+// from the Release pool when possible.
+func (n *ConvNet) getInputGrad() *InputGrad {
+	if v := n.igPool.Get(); v != nil {
+		ig := v.(*InputGrad)
+		ig.Grad.Zero()
+		ig.Loss, ig.Score = 0, 0
+		return ig
+	}
+	return &InputGrad{
+		Grad: tensor.NewVec(n.Cfg.SeqLen * n.Cfg.EmbedDim),
+		pool: &n.igPool,
+	}
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package nn
+
+// raceEnabled is false in regular test builds; see race_on_test.go.
+const raceEnabled = false

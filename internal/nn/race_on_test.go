@@ -1,0 +1,9 @@
+//go:build race
+
+package nn
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, whose instrumentation allocates and would fail the
+// AllocsPerRun gates. The zero-alloc tests skip themselves under race;
+// `make alloc` (wired into `make ci`) runs them without it.
+const raceEnabled = true

@@ -70,16 +70,22 @@ func ForEach(workers, n int, fn func(i int)) {
 // shared state inside fn — so the returned error is deterministic across
 // worker counts and schedules.
 func ForEachErr(workers, n int, fn func(i int) error) error {
-	errs := make([]error, n)
+	// Tracks only the lowest failing index instead of an O(n) error slice:
+	// the all-success path (by far the common one) never allocates and
+	// never takes the lock.
+	var mu sync.Mutex
+	bestIdx := n
+	var bestErr error
 	ForEach(workers, n, func(i int) {
-		errs[i] = fn(i)
-	})
-	for _, err := range errs {
-		if err != nil {
-			return err
+		if err := fn(i); err != nil {
+			mu.Lock()
+			if i < bestIdx {
+				bestIdx, bestErr = i, err
+			}
+			mu.Unlock()
 		}
-	}
-	return nil
+	})
+	return bestErr
 }
 
 // Do runs the given heterogeneous tasks concurrently, bounded by workers,

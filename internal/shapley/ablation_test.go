@@ -1,0 +1,179 @@
+package shapley
+
+import (
+	"fmt"
+	"testing"
+
+	"mpass/internal/corpus"
+	"mpass/internal/pefile"
+)
+
+// cloneRenderShapley is the pre-fast-path reference: one Parse already done
+// by the caller, then Clone + zero + Bytes per subset. The in-place
+// ablation renderer must reproduce its φ values bit-for-bit.
+func cloneRenderShapley(t *testing.T, raw []byte, secNames []string, score func([]byte) float64) map[string]float64 {
+	t.Helper()
+	f, err := pefile.Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[string]bool, len(secNames))
+	for _, n := range secNames {
+		want[n] = true
+	}
+	var present []*pefile.Section
+	for _, s := range f.Sections {
+		if want[s.Name] && len(s.Data) > 0 {
+			present = append(present, s)
+		}
+	}
+	n := len(present)
+	if n == 0 {
+		return map[string]float64{}
+	}
+	ablated := make([]float64, 1<<n)
+	for mask := 0; mask < 1<<n; mask++ {
+		g := f.Clone()
+		for i, s := range present {
+			if mask&(1<<i) == 0 {
+				sec := g.SectionByName(s.Name)
+				for j := range sec.Data {
+					sec.Data[j] = 0
+				}
+			}
+		}
+		ablated[mask] = score(g.Bytes())
+	}
+	fact := make([]float64, n+1)
+	fact[0] = 1
+	for i := 1; i <= n; i++ {
+		fact[i] = fact[i-1] * float64(i)
+	}
+	weight := make([]float64, n)
+	for s := 0; s < n; s++ {
+		weight[s] = fact[s] * fact[n-s-1] / fact[n]
+	}
+	out := make(map[string]float64, n)
+	full := uint32(1<<n) - 1
+	for i, sec := range present {
+		bit := uint32(1) << i
+		var phi float64
+		rest := full &^ bit
+		for sub := uint32(0); ; sub = (sub - rest) & rest {
+			size := 0
+			for x := sub; x != 0; x &= x - 1 {
+				size++
+			}
+			phi += weight[size] * (ablated[sub|bit] - ablated[sub])
+			if sub == rest {
+				break
+			}
+		}
+		out[sec.Name] = phi
+	}
+	return out
+}
+
+// TestInPlaceAblationMatchesCloneRender is the renderer parity gate: for a
+// content-sensitive score, the pooled in-place renderer must give exactly
+// the φ values of the Clone-per-subset reference, at every worker count.
+func TestInPlaceAblationMatchesCloneRender(t *testing.T) {
+	secs := []string{".text", ".data", ".rdata", ".idata"}
+	// A score with interactions and full-image sensitivity (header bytes
+	// included), so any render difference shows up.
+	score := func(raw []byte) float64 {
+		var s float64
+		for i, b := range raw {
+			s += float64(b) * float64(i%251+1)
+		}
+		f, err := pefile.Parse(raw)
+		if err != nil {
+			return s
+		}
+		var nzText, nzData float64
+		if sec := f.SectionByName(".text"); sec != nil {
+			for _, b := range sec.Data {
+				if b != 0 {
+					nzText++
+				}
+			}
+		}
+		if sec := f.SectionByName(".data"); sec != nil {
+			for _, b := range sec.Data {
+				if b != 0 {
+					nzData++
+				}
+			}
+		}
+		return s + nzText*nzData
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		raw := corpus.NewGenerator(seed).Sample(corpus.Malware).Raw
+		want := cloneRenderShapley(t, raw, secs, score)
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("seed=%d/workers=%d", seed, workers), func(t *testing.T) {
+				got, err := SectionShapleyWorkers(raw, secs, score, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("section sets differ: got %v, want %v", got, want)
+				}
+				for name, phi := range want {
+					if got[name] != phi {
+						t.Errorf("phi[%s] = %v, want %v (bit-exact)", name, got[name], phi)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestAblationRendererRangeRestore drills the buffer-reuse bookkeeping: a
+// single pooled buffer serving masks in an adversarial order must always
+// restore previously zeroed ranges from the base image.
+func TestAblationRendererRangeRestore(t *testing.T) {
+	raw := corpus.NewGenerator(7).Sample(corpus.Malware).Raw
+	f, err := pefile.Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var present []*pefile.Section
+	for _, name := range []string{".text", ".data", ".rdata"} {
+		if s := f.SectionByName(name); s != nil && len(s.Data) > 0 {
+			present = append(present, s)
+		}
+	}
+	if len(present) < 3 {
+		t.Skip("sample lacks the three probe sections")
+	}
+	r := newAblationRenderer(f, present)
+	n := len(present)
+	full := uint32(1<<n) - 1
+
+	// Reference images, each rendered into a fresh buffer.
+	wantFor := func(mask uint32) []byte {
+		out := append([]byte(nil), r.base...)
+		for i, rg := range r.ranges {
+			if mask&(1<<i) == 0 {
+				for j := rg[0]; j < rg[1]; j++ {
+					out[j] = 0
+				}
+			}
+		}
+		return out
+	}
+
+	// Serial rendering reuses one pooled buffer across all masks; walk the
+	// lattice in an order that flips bits both directions.
+	order := []uint32{full, 0, 5, 2, full, 1, 6, 3, 0, full}
+	for _, mask := range order {
+		mask &= full
+		img := r.render(mask)
+		want := wantFor(mask)
+		if string(img.buf) != string(want) {
+			t.Fatalf("mask %03b: rendered image differs from reference", mask)
+		}
+		r.release(img)
+	}
+}

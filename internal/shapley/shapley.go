@@ -12,7 +12,9 @@ package shapley
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
+	"sync"
 
 	"mpass/internal/parallel"
 	"mpass/internal/pefile"
@@ -45,8 +47,10 @@ func SectionShapley(raw []byte, secNames []string, score func([]byte) float64) (
 // pure evaluation and the φ summation always walks the subset lattice in
 // the same order, so results are bit-identical for every worker count.
 //
-// score must be safe for concurrent calls; every Detector in this codebase
-// is read-only at scoring time and qualifies.
+// score must be safe for concurrent calls and must neither mutate nor
+// retain the byte slice it is handed — the ablated images live in reusable
+// buffers. Every Detector in this codebase is read-only at scoring time and
+// qualifies.
 func SectionShapleyWorkers(raw []byte, secNames []string, score func([]byte) float64, workers int) (map[string]float64, error) {
 	f, err := pefile.Parse(raw)
 	if err != nil {
@@ -73,19 +77,18 @@ func SectionShapleyWorkers(raw []byte, secNames []string, score func([]byte) flo
 
 	// Every mask in [0, 2^n) is needed by the φ summation below, so instead
 	// of memoizing lazily the table is filled up front, one independent
-	// ablated render + model evaluation per mask, in parallel.
+	// ablated render + model evaluation per mask, in parallel. Rendering is
+	// in place: the serialized layout never depends on section content, so
+	// each mask is the base image with the absent sections' byte ranges
+	// zeroed — no Parse/Clone/Bytes per subset. Reusable image buffers
+	// recycle through a pool, and each one tracks which ranges it currently
+	// has zeroed so consecutive masks only touch the ranges that differ.
+	render := newAblationRenderer(f, present)
 	ablated := make([]float64, 1<<n)
 	parallel.ForEach(workers, 1<<n, func(mask int) {
-		g := f.Clone()
-		for i, s := range present {
-			if mask&(1<<i) == 0 {
-				t := g.SectionByName(s.Name)
-				for j := range t.Data {
-					t.Data[j] = 0
-				}
-			}
-		}
-		ablated[mask] = score(g.Bytes())
+		img := render.render(uint32(mask))
+		ablated[mask] = score(img.buf)
+		render.release(img)
 	})
 
 	// Precompute the subset weights |ŝ|!(n−|ŝ|−1)!/n!.
@@ -107,7 +110,7 @@ func SectionShapleyWorkers(raw []byte, secNames []string, score func([]byte) flo
 		rest := full &^ bit
 		// Enumerate subsets ŝ of the other sections.
 		for sub := uint32(0); ; sub = (sub - rest) & rest {
-			size := popcount(sub)
+			size := bits.OnesCount32(sub)
 			phi += weight[size] * (ablated[sub|bit] - ablated[sub])
 			if sub == rest {
 				break
@@ -118,13 +121,65 @@ func SectionShapleyWorkers(raw []byte, secNames []string, score func([]byte) flo
 	return out, nil
 }
 
-func popcount(x uint32) int {
-	n := 0
-	for ; x != 0; x &= x - 1 {
-		n++
-	}
-	return n
+// ablationRenderer produces the serialized image for every ablation subset
+// without re-parsing or re-serializing: PE layout never depends on section
+// *content*, so "sections outside the mask zeroed, structure intact" equals
+// the base image with those sections' raw byte ranges zeroed in place.
+type ablationRenderer struct {
+	base   []byte    // full serialized image, every section present
+	ranges [][2]int  // per present section: [fileOffset, end) of its raw data
+	pool   sync.Pool // *ablationImg
 }
+
+// ablationImg is one reusable image buffer plus the set of section ranges it
+// currently has zeroed, so re-rendering touches only the ranges that differ
+// from the previous mask it served.
+type ablationImg struct {
+	buf    []byte
+	zeroed uint32
+}
+
+// newAblationRenderer serializes the base image (fixing the layout) and
+// records each present section's raw byte range.
+func newAblationRenderer(f *pefile.File, present []*pefile.Section) *ablationRenderer {
+	r := &ablationRenderer{base: f.Bytes(), ranges: make([][2]int, len(present))}
+	for i, s := range present {
+		off := int(s.PointerToRawData)
+		r.ranges[i] = [2]int{off, off + len(s.Data)}
+	}
+	return r
+}
+
+// render returns an image with exactly the sections in mask present (bit i
+// set keeps present[i]) and every other participating section zeroed. The
+// result is bit-identical to cloning the file, zeroing the absent sections'
+// data, and serializing. Callers must hand the image back via release and
+// must not retain buf past that.
+func (r *ablationRenderer) render(mask uint32) *ablationImg {
+	img, _ := r.pool.Get().(*ablationImg)
+	if img == nil {
+		img = &ablationImg{buf: append([]byte(nil), r.base...)}
+	}
+	for i, rg := range r.ranges {
+		bit := uint32(1) << i
+		wantZero := mask&bit == 0
+		isZero := img.zeroed&bit != 0
+		switch {
+		case wantZero && !isZero:
+			zero := img.buf[rg[0]:rg[1]]
+			for j := range zero {
+				zero[j] = 0
+			}
+		case !wantZero && isZero:
+			copy(img.buf[rg[0]:rg[1]], r.base[rg[0]:rg[1]])
+		}
+	}
+	img.zeroed = ^mask & (uint32(1)<<len(r.ranges) - 1)
+	return img
+}
+
+// release recycles an image buffer for the next subset.
+func (r *ablationRenderer) release(img *ablationImg) { r.pool.Put(img) }
 
 // CommonSections returns the topH section names occurring most often across
 // the samples, ties broken lexicographically for determinism.

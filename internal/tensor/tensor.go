@@ -121,14 +121,21 @@ func (m *Mat) Clone() *Mat {
 
 // MatVec computes m·v.
 func (m *Mat) MatVec(v Vec) Vec {
-	if len(v) != m.Cols {
-		panic(fmt.Sprintf("tensor: MatVec %dx%d by %d", m.Rows, m.Cols, len(v)))
-	}
 	out := NewVec(m.Rows)
+	m.MatVecInto(v, out)
+	return out
+}
+
+// MatVecInto computes m·v into out (length Rows), allocating nothing. Each
+// out[i] is the same Dot the allocating MatVec produces, so results are
+// bit-identical between the two.
+func (m *Mat) MatVecInto(v, out Vec) {
+	if len(v) != m.Cols || len(out) != m.Rows {
+		panic(fmt.Sprintf("tensor: MatVecInto %dx%d by %d into %d", m.Rows, m.Cols, len(v), len(out)))
+	}
 	for i := 0; i < m.Rows; i++ {
 		out[i] = Dot(m.Row(i), v)
 	}
-	return out
 }
 
 // XavierInit fills the matrix with Uniform(-lim, lim), lim = sqrt(6/(in+out)),
