@@ -7,13 +7,16 @@ GO ?= go
 # target drills into these (the full suite under -race is race-all, which
 # retrains every eval model and takes tens of minutes).
 PARALLEL_PKGS = ./internal/parallel ./internal/tensor ./internal/nn \
-                ./internal/shapley ./internal/detect ./internal/av
+                ./internal/shapley ./internal/detect ./internal/av \
+                ./internal/server
 
 # BENCH_N.json names follow the PR sequence; bench-json overwrites the
-# current one.
+# current ones (micro-benchmarks and the serving-layer load run).
 BENCH_JSON ?= BENCH_2.json
+SERVE_BENCH_JSON ?= BENCH_3.json
 
-.PHONY: all build vet test race race-all bench bench-full bench-json alloc ci
+.PHONY: all build vet test race race-all bench bench-full bench-json alloc \
+        serve-smoke ci
 
 all: build
 
@@ -42,16 +45,23 @@ bench:
 bench-full:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
-# bench-json runs the inference-engine benchmarks and writes a
-# machine-readable report (ns/op, B/op, allocs/op) for regression diffing.
+# bench-json runs the inference-engine benchmarks and a serving-layer load
+# run, writing machine-readable reports for regression diffing.
 bench-json:
 	$(GO) test -run '^$$' \
 		-bench 'DetectorPredict$$|InputGradient$$|ShapleySample$$' \
 		-benchmem -count=1 . | $(GO) run ./cmd/benchjson -out $(BENCH_JSON)
+	sh scripts/serve_bench.sh bench | $(GO) run ./cmd/benchjson -out $(SERVE_BENCH_JSON)
+
+# serve-smoke boots mpassd on a random port, drives it with mpass-load
+# (healthz preflight, scan burst, one attack job, /metrics cross-check), and
+# verifies a graceful SIGTERM drain.
+serve-smoke:
+	sh scripts/serve_bench.sh smoke
 
 # alloc is the allocation-regression gate: the scoring and gradient hot
 # paths must stay zero-allocation in steady state.
 alloc:
 	$(GO) test -run 'ZeroAlloc' -count=1 ./internal/nn
 
-ci: build vet test race alloc bench
+ci: build vet test race alloc bench serve-smoke

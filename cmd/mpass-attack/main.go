@@ -28,11 +28,16 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed for corpus, training, and attack")
 	victim := flag.Int("victim", 0, "index of the victim sample")
 	out := flag.String("out", "", "write the adversarial example here on success")
+	workers := flag.Int("workers", 0, "worker-pool size for setup parallelism (0 = GOMAXPROCS)")
 	flag.Parse()
+	if *workers < 0 {
+		log.Fatalf("workers must be >= 0 (0 = GOMAXPROCS), got %d", *workers)
+	}
 
 	cfg := eval.QuickConfig()
 	cfg.Seed = *seed
 	cfg.MaxQueries = 100
+	cfg.Workers = *workers
 	fmt.Println("building corpus and training detectors (one-time, ~1 min)...")
 	suite, err := eval.Setup(cfg)
 	if err != nil {

@@ -1,0 +1,258 @@
+// Command mpass-load drives a running mpassd with a concurrent scan burst
+// (plus optional attack jobs) and reports serving throughput and latency.
+// Stdout carries `go test -bench`-style lines so the existing cmd/benchjson
+// flow can turn a run into a machine-readable report:
+//
+//	mpassd -addr 127.0.0.1:0 -addr-file /tmp/mpassd.addr &
+//	mpass-load -addr "$(cat /tmp/mpassd.addr)" -clients 8 -requests 400 \
+//	    | go run ./cmd/benchjson -out BENCH_3.json
+//
+// The tool doubles as the CI smoke driver (`make serve-smoke`): it refuses
+// to start until /healthz answers ok, fails if any scan errors (429 sheds
+// are counted separately — shedding is policy, not failure), and
+// cross-checks /metrics against its own request count.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mpass/internal/corpus"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mpass-load: ")
+
+	addr := flag.String("addr", "127.0.0.1:8877", "mpassd address (host:port)")
+	clients := flag.Int("clients", 8, "concurrent scan clients")
+	requests := flag.Int("requests", 400, "total scan requests")
+	samples := flag.Int("samples", 32, "distinct samples in the request pool (repeats exercise the cache)")
+	attacks := flag.Int("attacks", 0, "attack jobs to submit and poll to completion")
+	seed := flag.Int64("seed", 1, "sample-pool generation seed")
+	wait := flag.Duration("wait", 15*time.Second, "how long to wait for /healthz before giving up")
+	flag.Parse()
+	if *clients < 1 || *requests < 1 || *samples < 1 {
+		log.Fatal("clients, requests, and samples must all be >= 1")
+	}
+	base := "http://" + *addr
+
+	if err := waitHealthy(base, *wait); err != nil {
+		log.Fatal(err)
+	}
+
+	// The pool mixes malware and benign PEs from the same generator family
+	// mpassd trains on, so scores span both sides of the thresholds.
+	g := corpus.NewGenerator(*seed + 31000)
+	pool := make([][]byte, *samples)
+	for i := range pool {
+		fam := corpus.Benign
+		if i%2 == 0 {
+			fam = corpus.Malware
+		}
+		pool[i] = g.Sample(fam).Raw
+	}
+
+	lat := make([]time.Duration, *requests)
+	var next, ok, shed, failed atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= *requests {
+					return
+				}
+				t0 := time.Now()
+				status, err := postScan(base, pool[i%len(pool)])
+				lat[i] = time.Since(t0)
+				switch {
+				case err != nil || status >= 500:
+					failed.Add(1)
+				case status == http.StatusTooManyRequests:
+					shed.Add(1)
+				case status == http.StatusOK:
+					ok.Add(1)
+				default:
+					failed.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if ok.Load() == 0 {
+		log.Fatalf("no scan succeeded (%d shed, %d failed)", shed.Load(), failed.Load())
+	}
+	if failed.Load() > 0 {
+		log.Fatalf("%d scans failed outright", failed.Load())
+	}
+
+	attacksDone := 0
+	if *attacks > 0 {
+		var err error
+		if attacksDone, err = runAttacks(base, pool, *attacks); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	snap, err := fetchMetrics(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if got := snap.ScanRequests; got < int64(*requests) {
+		log.Fatalf("/metrics scan_requests = %d, expected >= %d", got, *requests)
+	}
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	p50, p99 := quantile(lat, 0.50), quantile(lat, 0.99)
+	rps := float64(*requests) / elapsed.Seconds()
+	nsPerOp := float64(elapsed.Nanoseconds()) / float64(*requests)
+
+	fmt.Fprintf(os.Stderr,
+		"%d scans in %v (%d ok, %d shed) · %.0f req/s · p50 %v p99 %v\n",
+		*requests, elapsed.Round(time.Millisecond), ok.Load(), shed.Load(), rps,
+		p50.Round(time.Microsecond), p99.Round(time.Microsecond))
+	fmt.Fprintf(os.Stderr,
+		"server: %d batches (mean %.2f, max %d, %d coalesced) · %d cache hits · %d attack jobs done\n",
+		snap.Batches, snap.MeanBatch, snap.MaxBatchSize, snap.Coalesced, snap.CacheHits, attacksDone)
+
+	// One benchmark line per run; extra (value, unit) pairs become benchjson
+	// custom metrics.
+	fmt.Printf("BenchmarkServeScan %d %.0f ns/op %.1f req/s %d p50-ns %d p99-ns %.0f shed %.0f cache-hits %.2f mean-batch\n",
+		*requests, nsPerOp, rps, p50.Nanoseconds(), p99.Nanoseconds(),
+		float64(shed.Load()), float64(snap.CacheHits), snap.MeanBatch)
+}
+
+// waitHealthy polls /healthz until it answers 200 or the deadline passes.
+func waitHealthy(base string, wait time.Duration) error {
+	deadline := time.Now().Add(wait)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("server at %s never became healthy: %v", base, err)
+			}
+			return fmt.Errorf("server at %s never became healthy", base)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func postScan(base string, raw []byte) (int, error) {
+	resp, err := http.Post(base+"/v1/scan", "application/octet-stream", bytes.NewReader(raw))
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// runAttacks submits n attack jobs on pool samples and polls each to a
+// terminal state, returning how many reached one.
+func runAttacks(base string, pool [][]byte, n int) (int, error) {
+	type accepted struct {
+		Poll string `json:"poll"`
+	}
+	var polls []string
+	for i := 0; i < n; i++ {
+		resp, err := http.Post(base+"/v1/attack", "application/octet-stream",
+			bytes.NewReader(pool[i%len(pool)]))
+		if err != nil {
+			return 0, err
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			continue // shed by admission control; not a failure
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			return 0, fmt.Errorf("attack %d: status %d: %s", i, resp.StatusCode, body)
+		}
+		var a accepted
+		if err := json.Unmarshal(body, &a); err != nil {
+			return 0, err
+		}
+		polls = append(polls, a.Poll)
+	}
+	done := 0
+	deadline := time.Now().Add(2 * time.Minute)
+	for _, p := range polls {
+		for {
+			resp, err := http.Get(base + p)
+			if err != nil {
+				return done, err
+			}
+			var v struct {
+				State string `json:"state"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&v)
+			resp.Body.Close()
+			if err != nil {
+				return done, err
+			}
+			if v.State == "done" || v.State == "failed" {
+				done++
+				break
+			}
+			if time.Now().After(deadline) {
+				return done, fmt.Errorf("job %s stuck in state %q", p, v.State)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	return done, nil
+}
+
+// metricsDoc is the subset of the /metrics document the tool reports.
+type metricsDoc struct {
+	ScanRequests int64   `json:"scan_requests"`
+	Batches      int64   `json:"batches"`
+	MeanBatch    float64 `json:"mean_batch_size"`
+	MaxBatchSize int64   `json:"max_batch_size"`
+	Coalesced    int64   `json:"coalesced_batches"`
+	CacheHits    int64   `json:"cache_hits"`
+}
+
+func fetchMetrics(base string) (*metricsDoc, error) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var m metricsDoc
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return nil, fmt.Errorf("decoding /metrics: %w", err)
+	}
+	return &m, nil
+}
+
+// quantile reads the q-th quantile from an ascending latency slice.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

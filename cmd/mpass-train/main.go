@@ -3,9 +3,10 @@
 // LightGBM, MalGCG) and the five commercial-AV simulators of §IV-B. It
 // reports per-model test accuracy and calibrated thresholds.
 //
-// Models train in seconds on the synthetic corpus, so there is no model
-// persistence: every experiment binary retrains deterministically from the
-// seed, which also guarantees experiments never read stale models.
+// Experiment binaries retrain deterministically from the seed, so they never
+// read stale models; the serving daemon is the exception — it wants a warm
+// start, so `-out models.gob` persists the offline suite for
+// `mpassd -models models.gob` to load in milliseconds.
 package main
 
 import (
@@ -26,6 +27,7 @@ func main() {
 	nMal := flag.Int("malware", 60, "malware samples in the corpus")
 	nBen := flag.Int("benign", 60, "benign samples in the corpus")
 	workers := flag.Int("workers", 0, "worker-pool size for concurrent training (0 = GOMAXPROCS)")
+	out := flag.String("out", "", "write the trained offline suite (gob) here for mpassd -models")
 	flag.Parse()
 	if *workers < 0 {
 		log.Fatalf("workers must be >= 0 (0 = GOMAXPROCS), got %d", *workers)
@@ -39,13 +41,19 @@ func main() {
 	cfg := detect.DefaultTrainConfig()
 	cfg.Seed = *seed
 	cfg.Workers = *workers
-	malconv, nonneg, lgbm, malgcg, err := detect.TrainAll(ds, cfg)
+	suite, err := detect.TrainSuite(ds, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *out != "" {
+		if err := detect.SaveSuiteFile(*out, suite); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("saved offline suite to %s\n", *out)
+	}
 
 	fmt.Printf("\n%-10s %10s %10s\n", "model", "test acc", "threshold")
-	for _, d := range []detect.Detector{malconv, nonneg, lgbm, malgcg} {
+	for _, d := range suite.OfflineTargets() {
 		var thr float64
 		switch m := d.(type) {
 		case *detect.ConvDetector:

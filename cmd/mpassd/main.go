@@ -1,0 +1,177 @@
+// Command mpassd is the serving daemon: it keeps the trained offline
+// detector suite resident and exposes the scan/attack HTTP API of
+// internal/server — micro-batched scoring on POST /v1/scan, async MPass
+// attack jobs on POST /v1/attack, plus /healthz and /metrics.
+//
+// Models come from a gob file written by `mpass-train -out models.gob`
+// (milliseconds to load) or, when the file is absent, are trained in-process
+// from the seed and saved back so the next start is fast:
+//
+//	mpass-train -out models.gob
+//	mpassd -models models.gob -addr 127.0.0.1:8877
+//
+// SIGINT/SIGTERM drain gracefully: new requests are rejected, in-flight
+// scans and attack jobs finish (bounded by -drain), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mpass/internal/corpus"
+	"mpass/internal/detect"
+	"mpass/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mpassd: ")
+
+	addr := flag.String("addr", "127.0.0.1:8877", "listen address (port 0 picks a free port)")
+	addrFile := flag.String("addr-file", "", "write the bound address here once listening (for scripts using port 0)")
+	models := flag.String("models", "", "model file (gob); loaded if present, else trained and saved here")
+	seed := flag.Int64("seed", 1, "corpus/training seed when models are trained in-process")
+	nMal := flag.Int("malware", 60, "malware samples in the training corpus")
+	nBen := flag.Int("benign", 60, "benign samples in the training corpus")
+	workers := flag.Int("workers", 0, "worker-pool size for in-process training (0 = GOMAXPROCS)")
+	donors := flag.Int("donors", 64, "benign-donor pool size for attack jobs")
+	maxQueries := flag.Int("max-queries", 100, "per-job oracle query budget")
+
+	maxBatch := flag.Int("max-batch", 32, "max scans per coalesced batch")
+	window := flag.Duration("batch-window", 2*time.Millisecond, "batching window after the first request")
+	scanQueue := flag.Int("scan-queue", 256, "scan admission queue; full sheds with 429")
+	cacheSize := flag.Int("cache", 4096, "score-cache entries (0 disables)")
+	attackWorkers := flag.Int("attack-workers", 2, "concurrent attack jobs")
+	attackQueue := flag.Int("attack-queue", 64, "attack admission queue; full sheds with 429")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request deadline")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
+	flag.Parse()
+	if *workers < 0 {
+		log.Fatalf("workers must be >= 0 (0 = GOMAXPROCS), got %d", *workers)
+	}
+
+	suite, err := loadOrTrain(*models, *seed, *nMal, *nBen, *workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The donor pool reuses the eval harness's generator stream (seed offset
+	// 77000), so daemon attacks see the same benign donors as the offline
+	// experiments at equal seeds.
+	g := corpus.NewGenerator(*seed + 77000)
+	pool := make([][]byte, *donors)
+	for i := range pool {
+		pool[i] = g.Sample(corpus.Benign).Raw
+	}
+
+	srv, err := server.New(server.Config{
+		Detectors:      suite.OfflineTargets(),
+		Attack:         server.MPassAttack(suite, pool, *maxQueries),
+		MaxBatch:       *maxBatch,
+		BatchWindow:    *window,
+		ScanQueue:      *scanQueue,
+		CacheSize:      *cacheSize,
+		AttackWorkers:  *attackWorkers,
+		AttackQueue:    *attackQueue,
+		RequestTimeout: *timeout,
+		Seed:           *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	log.Printf("listening on %s (models: %s)", bound, modelSource(*models))
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("received %v, draining (deadline %v)", s, *drain)
+	case err := <-serveErr:
+		log.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// srv.Shutdown flips the draining flag immediately (new requests get
+	// 503) and completes queued/running attack jobs; httpSrv.Shutdown waits
+	// for in-flight handlers. They overlap so one slow half does not eat the
+	// other's share of the drain budget.
+	pipelineDone := make(chan error, 1)
+	go func() { pipelineDone <- srv.Shutdown(ctx) }()
+	httpErr := httpSrv.Shutdown(ctx)
+	pipeErr := <-pipelineDone
+	switch {
+	case pipeErr != nil:
+		log.Fatalf("drain incomplete: %v", pipeErr)
+	case httpErr != nil:
+		log.Fatalf("http shutdown: %v", httpErr)
+	}
+	log.Printf("drained cleanly")
+}
+
+// loadOrTrain resolves the resident suite: load the model file when it
+// exists, otherwise train from the seed (and persist when a path was given).
+func loadOrTrain(path string, seed int64, nMal, nBen, workers int) (*detect.Suite, error) {
+	if path != "" {
+		suite, err := detect.LoadSuiteFile(path)
+		if err == nil {
+			log.Printf("loaded models from %s", path)
+			return suite, nil
+		}
+		if !errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("loading %s: %w", path, err)
+		}
+		log.Printf("%s not found, training from seed %d", path, seed)
+	} else {
+		log.Printf("no -models path, training from seed %d", seed)
+	}
+
+	start := time.Now()
+	ds := corpus.MakeAugmentedDataset(seed, nMal, nBen, 0.67)
+	cfg := detect.DefaultTrainConfig()
+	cfg.Seed = seed
+	cfg.Workers = workers
+	suite, err := detect.TrainSuite(ds, cfg)
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("trained offline suite in %v", time.Since(start).Round(time.Millisecond))
+	if path != "" {
+		if err := detect.SaveSuiteFile(path, suite); err != nil {
+			return nil, fmt.Errorf("saving %s: %w", path, err)
+		}
+		log.Printf("saved models to %s", path)
+	}
+	return suite, nil
+}
+
+func modelSource(path string) string {
+	if path == "" {
+		return "in-process training"
+	}
+	return path
+}

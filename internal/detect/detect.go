@@ -77,6 +77,19 @@ func LabelAll(d Detector, raws [][]byte, workers int) []bool {
 	return labels
 }
 
+// Thresholder is implemented by detectors whose hard label is exactly
+// score >= threshold. Callers that already hold scores (the serving layer's
+// batching dispatcher) derive labels without scoring twice.
+type Thresholder interface {
+	DecisionThreshold() float64
+}
+
+// DecisionThreshold implements Thresholder.
+func (d *ConvDetector) DecisionThreshold() float64 { return d.Threshold }
+
+// DecisionThreshold implements Thresholder.
+func (d *GBDTDetector) DecisionThreshold() float64 { return d.Threshold }
+
 func labelsFromScores(scores []float64, thr float64) []bool {
 	labels := make([]bool, len(scores))
 	for i, s := range scores {

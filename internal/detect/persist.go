@@ -1,0 +1,149 @@
+// Model persistence: the trained offline suite serializes to a single gob
+// stream so a serving process (cmd/mpassd) starts from a file in
+// milliseconds instead of retraining from the seed. The networks and the
+// tree ensemble carry their own GobEncode/GobDecode (internal/nn,
+// internal/gbdt); loading ends with every ConvNet's weight version bumped,
+// so the lookup-table inference fast path rebuilds from the loaded weights.
+package detect
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"mpass/internal/corpus"
+)
+
+// Suite is the resident offline-model set of §IV-A — the unit the serving
+// layer keeps in memory and the persistence layer writes to disk.
+type Suite struct {
+	MalConv *ConvDetector
+	NonNeg  *ConvDetector
+	LGBM    *GBDTDetector
+	MalGCG  *ConvDetector
+}
+
+// TrainSuite trains the full offline suite (see TrainAll) into a Suite.
+func TrainSuite(ds *corpus.Dataset, cfg TrainConfig) (*Suite, error) {
+	s := &Suite{}
+	var err error
+	s.MalConv, s.NonNeg, s.LGBM, s.MalGCG, err = TrainAll(ds, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// OfflineTargets lists the §IV-A models in paper order.
+func (s *Suite) OfflineTargets() []Detector {
+	return []Detector{s.MalConv, s.NonNeg, s.LGBM, s.MalGCG}
+}
+
+// KnownFor returns MPass's known-model ensemble when attacking the named
+// target: the remaining differentiable offline models (LightGBM can never
+// be a known model — paper footnote 6; for external targets all three are
+// known).
+func (s *Suite) KnownFor(target string) []GradientModel {
+	var out []GradientModel
+	for _, m := range []GradientModel{s.MalConv, s.NonNeg, s.MalGCG} {
+		if m.Name() != target {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// validate rejects suites with missing members, on both save and load.
+func (s *Suite) validate() error {
+	switch {
+	case s == nil:
+		return fmt.Errorf("detect: nil suite")
+	case s.MalConv == nil || s.MalConv.Net == nil,
+		s.NonNeg == nil || s.NonNeg.Net == nil,
+		s.MalGCG == nil || s.MalGCG.Net == nil:
+		return fmt.Errorf("detect: suite is missing a neural detector")
+	case s.LGBM == nil || s.LGBM.Ensemble == nil:
+		return fmt.Errorf("detect: suite is missing the tree detector")
+	}
+	return nil
+}
+
+// suiteFile is the on-disk envelope; Magic/Version guard against feeding the
+// loader an unrelated gob stream or a future incompatible layout.
+type suiteFile struct {
+	Magic   string
+	Version int
+	Suite   *Suite
+}
+
+const (
+	suiteMagic   = "mpass-models"
+	suiteVersion = 1
+)
+
+// SaveSuite writes the trained suite to w in gob form.
+func SaveSuite(w io.Writer, s *Suite) error {
+	if err := s.validate(); err != nil {
+		return err
+	}
+	return gob.NewEncoder(w).Encode(&suiteFile{Magic: suiteMagic, Version: suiteVersion, Suite: s})
+}
+
+// LoadSuite reads a suite written by SaveSuite. Scores and labels of the
+// loaded models are bit-identical to the suite that was saved, including
+// through the rebuilt lookup-table fast paths.
+func LoadSuite(r io.Reader) (*Suite, error) {
+	var f suiteFile
+	if err := gob.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("detect: load suite: %w", err)
+	}
+	if f.Magic != suiteMagic {
+		return nil, fmt.Errorf("detect: not a model file (magic %q)", f.Magic)
+	}
+	if f.Version != suiteVersion {
+		return nil, fmt.Errorf("detect: model file version %d, this build reads %d", f.Version, suiteVersion)
+	}
+	if err := f.Suite.validate(); err != nil {
+		return nil, err
+	}
+	return f.Suite, nil
+}
+
+// SaveSuiteFile writes the suite atomically: a temp file in the destination
+// directory renamed into place, so a crash mid-write never leaves a torn
+// model file for the next daemon start.
+func SaveSuiteFile(path string, s *Suite) error {
+	tmp, err := os.CreateTemp(dirOf(path), ".models-*.gob")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := SaveSuite(tmp, s); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadSuiteFile reads a suite saved by SaveSuiteFile.
+func LoadSuiteFile(path string) (*Suite, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadSuite(f)
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if os.IsPathSeparator(path[i]) {
+			return path[:i+1]
+		}
+	}
+	return "."
+}

@@ -1,0 +1,103 @@
+package detect
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func trainedSuite(t *testing.T) *Suite {
+	mc, nng, lg, gcg := models(t)
+	return &Suite{MalConv: mc, NonNeg: nng, LGBM: lg, MalGCG: gcg}
+}
+
+// TestSuiteGobRoundTripParity is the persistence gate: a saved-then-loaded
+// suite must score and label a corpus slice bit-identically to the
+// in-memory suite — through both the single-sample and the batched
+// (lookup-table) paths, which exercises the fastpath rebuild after decode.
+func TestSuiteGobRoundTripParity(t *testing.T) {
+	s := trainedSuite(t)
+	ds := dataset(t)
+	var buf bytes.Buffer
+	if err := SaveSuite(&buf, s); err != nil {
+		t.Fatalf("SaveSuite: %v", err)
+	}
+	loaded, err := LoadSuite(&buf)
+	if err != nil {
+		t.Fatalf("LoadSuite: %v", err)
+	}
+
+	raws := rawsOf(ds.Test)
+	if len(raws) > 24 {
+		raws = raws[:24]
+	}
+	orig, back := s.OfflineTargets(), loaded.OfflineTargets()
+	for i, d := range orig {
+		ld := back[i]
+		if ld.Name() != d.Name() {
+			t.Fatalf("model %d: loaded name %q != %q", i, ld.Name(), d.Name())
+		}
+		wantScores := ScoreAll(d, raws, 0)
+		gotScores := ScoreAll(ld, raws, 0)
+		wantLabels := LabelAll(d, raws, 0)
+		gotLabels := LabelAll(ld, raws, 0)
+		for j := range raws {
+			if gotScores[j] != wantScores[j] {
+				t.Fatalf("%s sample %d: loaded score %v != original %v", d.Name(), j, gotScores[j], wantScores[j])
+			}
+			if gotLabels[j] != wantLabels[j] {
+				t.Fatalf("%s sample %d: loaded label %v != original %v", d.Name(), j, gotLabels[j], wantLabels[j])
+			}
+			// Single-sample path too: the loaded fastpath tables must agree
+			// with the loaded direct weights.
+			if got := ld.Score(raws[j]); got != wantScores[j] {
+				t.Fatalf("%s sample %d: loaded single-sample score %v != original %v", d.Name(), j, got, wantScores[j])
+			}
+		}
+	}
+
+	// Thresholds and gradient-model geometry survive too.
+	if loaded.MalConv.Threshold != s.MalConv.Threshold ||
+		loaded.NonNeg.Threshold != s.NonNeg.Threshold ||
+		loaded.LGBM.Threshold != s.LGBM.Threshold ||
+		loaded.MalGCG.Threshold != s.MalGCG.Threshold {
+		t.Fatal("loaded thresholds differ from saved thresholds")
+	}
+	if loaded.MalConv.SeqLen() != s.MalConv.SeqLen() || loaded.MalConv.EmbedDim() != s.MalConv.EmbedDim() {
+		t.Fatal("loaded gradient-model geometry differs")
+	}
+}
+
+func TestSuiteFileRoundTripAndKnownFor(t *testing.T) {
+	s := trainedSuite(t)
+	path := filepath.Join(t.TempDir(), "models.gob")
+	if err := SaveSuiteFile(path, s); err != nil {
+		t.Fatalf("SaveSuiteFile: %v", err)
+	}
+	loaded, err := LoadSuiteFile(path)
+	if err != nil {
+		t.Fatalf("LoadSuiteFile: %v", err)
+	}
+	known := loaded.KnownFor("MalConv")
+	if len(known) != 2 {
+		t.Fatalf("KnownFor(MalConv) returned %d models, want 2", len(known))
+	}
+	for _, m := range known {
+		if m.Name() == "MalConv" {
+			t.Fatal("KnownFor included the target")
+		}
+	}
+	if got := loaded.KnownFor("AV1"); len(got) != 3 {
+		t.Fatalf("KnownFor(external) returned %d models, want 3", len(got))
+	}
+}
+
+func TestLoadSuiteRejectsGarbage(t *testing.T) {
+	if _, err := LoadSuite(bytes.NewReader([]byte("not a gob stream"))); err == nil {
+		t.Fatal("LoadSuite accepted garbage")
+	}
+	var empty Suite
+	if err := SaveSuite(&bytes.Buffer{}, &empty); err == nil {
+		t.Fatal("SaveSuite accepted an empty suite")
+	}
+}

@@ -86,16 +86,17 @@ func QuickConfig() Config {
 	return cfg
 }
 
-// Suite bundles everything the experiments need.
+// Suite bundles everything the experiments need. The embedded detect.Suite
+// is the §IV-A offline-model set — the same type the persistence layer
+// (detect.SaveSuite/LoadSuite) and the serving daemon (internal/server,
+// cmd/mpassd) keep resident, so its OfflineTargets/KnownFor accessors are
+// promoted here.
 type Suite struct {
 	Cfg Config
 	DS  *corpus.Dataset
 
-	MalConv *detect.ConvDetector
-	NonNeg  *detect.ConvDetector
-	LGBM    *detect.GBDTDetector
-	MalGCG  *detect.ConvDetector
-	AVs     []*av.AV
+	detect.Suite
+	AVs []*av.AV
 
 	MPassDonorPool    [][]byte
 	BaselineDonorPool [][]byte
@@ -215,19 +216,6 @@ func hasSensitive(tr sandbox.Trace) bool {
 		}
 	}
 	return false
-}
-
-// KnownFor returns MPass's known-model ensemble when attacking the named
-// target: the remaining differentiable offline models (LightGBM can never
-// be a known model — paper footnote 6; for AV targets all three are known).
-func (s *Suite) KnownFor(target string) []detect.GradientModel {
-	var out []detect.GradientModel
-	for _, m := range []detect.GradientModel{s.MalConv, s.NonNeg, s.MalGCG} {
-		if m.Name() != target {
-			out = append(out, m)
-		}
-	}
-	return out
 }
 
 // AttackFactory builds per-victim attack instances (attacks keep per-run

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"mpass/internal/core"
-	"mpass/internal/detect"
 	"mpass/internal/sandbox"
 )
 
@@ -48,11 +47,6 @@ func (g *Grid) Cell(attack, target string) *Cell {
 		return m[target]
 	}
 	return nil
-}
-
-// OfflineTargets lists the §IV-A models in paper order.
-func (s *Suite) OfflineTargets() []detect.Detector {
-	return []detect.Detector{s.MalConv, s.NonNeg, s.LGBM, s.MalGCG}
 }
 
 // RunOfflineGrid runs all five attacks against the four offline models —

@@ -1,0 +1,71 @@
+package gbdt
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"testing"
+)
+
+// trainSmall fits a tiny ensemble on a separable two-feature problem.
+func trainSmall(t *testing.T) (*Ensemble, [][]float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(3))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 80; i++ {
+		y := float64(i % 2)
+		xs = append(xs, []float64{y*2 + rng.Float64(), rng.Float64() * 4})
+		ys = append(ys, y)
+	}
+	cfg := DefaultConfig()
+	cfg.Trees = 12
+	e, err := Train(xs, ys, cfg)
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	return e, xs
+}
+
+func TestGobRoundTripBitIdentical(t *testing.T) {
+	e, xs := trainSmall(t)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(e); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	var back Ensemble
+	if err := gob.NewDecoder(&buf).Decode(&back); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if back.Dim() != e.Dim() {
+		t.Fatalf("dim: got %d want %d", back.Dim(), e.Dim())
+	}
+	for i, x := range xs {
+		if got, want := back.Predict(x), e.Predict(x); got != want {
+			t.Fatalf("sample %d: decoded score %v != original %v", i, got, want)
+		}
+		if got, want := back.Logit(x), e.Logit(x); got != want {
+			t.Fatalf("sample %d: decoded logit %v != original %v", i, got, want)
+		}
+	}
+}
+
+func TestGobDecodeRejectsCorruptTrees(t *testing.T) {
+	e, _ := trainSmall(t)
+	// Point an internal node's split at a feature beyond the declared dim.
+	for _, tr := range e.Trees {
+		for i := range tr.nodes {
+			if tr.nodes[i].feature >= 0 {
+				tr.nodes[i].feature = e.dim + 5
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(e); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	var back Ensemble
+	if err := gob.NewDecoder(&buf).Decode(&back); err == nil {
+		t.Fatal("decode accepted out-of-range split feature")
+	}
+}

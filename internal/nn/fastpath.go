@@ -160,10 +160,15 @@ type scratch struct {
 // getScratch returns a scratch sized for this network, recycled when
 // possible. Safe for concurrent use from pool workers.
 func (n *ConvNet) getScratch() *scratch {
-	if v := n.scratchPool.Get(); v != nil {
-		return v.(*scratch)
-	}
 	cfg := n.Cfg
+	if v := n.scratchPool.Get(); v != nil {
+		sc := v.(*scratch)
+		// A recycled scratch can predate a GobDecode that swapped the
+		// architecture; drop it and allocate for the current shape.
+		if len(sc.padBuf) == cfg.SeqLen && len(sc.best) == cfg.Filters && len(sc.c.hidden) == cfg.Hidden {
+			return sc
+		}
+	}
 	F := cfg.Filters
 	sc := &scratch{
 		padBuf:  make([]byte, cfg.SeqLen),
@@ -198,9 +203,11 @@ func (n *ConvNet) putScratch(sc *scratch) {
 func (n *ConvNet) getInputGrad() *InputGrad {
 	if v := n.igPool.Get(); v != nil {
 		ig := v.(*InputGrad)
-		ig.Grad.Zero()
-		ig.Loss, ig.Score = 0, 0
-		return ig
+		if len(ig.Grad) == n.Cfg.SeqLen*n.Cfg.EmbedDim {
+			ig.Grad.Zero()
+			ig.Loss, ig.Score = 0, 0
+			return ig
+		}
 	}
 	return &InputGrad{
 		Grad: tensor.NewVec(n.Cfg.SeqLen * n.Cfg.EmbedDim),

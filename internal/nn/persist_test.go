@@ -1,0 +1,115 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"testing"
+)
+
+// trainTiny fits a small net (hidden layer on when hidden is true) for a few
+// steps so persisted weights are not just the random init.
+func trainTiny(t *testing.T, hidden int) *ConvNet {
+	t.Helper()
+	net, err := NewConvNet(ConvConfig{
+		SeqLen: 256, EmbedDim: 3, Kernel: 8, Stride: 4, Filters: 5,
+		Hidden: hidden, Seed: 11,
+	})
+	if err != nil {
+		t.Fatalf("NewConvNet: %v", err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	opt := NewAdam(1e-2)
+	for step := 0; step < 4; step++ {
+		batch := make([][]byte, 6)
+		ys := make([]float64, 6)
+		for i := range batch {
+			batch[i] = make([]byte, 200)
+			rng.Read(batch[i])
+			ys[i] = float64(i % 2)
+		}
+		net.TrainBatch(batch, ys, opt)
+	}
+	return net
+}
+
+func TestConvNetGobRoundTrip(t *testing.T) {
+	for _, hidden := range []int{0, 4} {
+		net := trainTiny(t, hidden)
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(net); err != nil {
+			t.Fatalf("hidden=%d: encode: %v", hidden, err)
+		}
+		var back ConvNet
+		if err := gob.NewDecoder(&buf).Decode(&back); err != nil {
+			t.Fatalf("hidden=%d: decode: %v", hidden, err)
+		}
+		rng := rand.New(rand.NewSource(9))
+		for i := 0; i < 16; i++ {
+			raw := make([]byte, 50+rng.Intn(300))
+			rng.Read(raw)
+			if got, want := back.Predict(raw), net.Predict(raw); got != want {
+				t.Fatalf("hidden=%d sample %d: decoded score %v != original %v", hidden, i, got, want)
+			}
+			gig, wig := back.InputGradient(raw, 0), net.InputGradient(raw, 0)
+			if gig.Score != wig.Score || gig.Loss != wig.Loss {
+				t.Fatalf("hidden=%d sample %d: decoded gradient pass diverged", hidden, i)
+			}
+			gig.Release()
+			wig.Release()
+		}
+	}
+}
+
+// TestConvNetGobDecodeRebuildsTables drives the decoded net through the
+// table fast path and then trains it one more step: both the rebuilt tables
+// and the invalidation-on-train contract must survive persistence.
+func TestConvNetGobDecodeRebuildsTables(t *testing.T) {
+	net := trainTiny(t, 0)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(net); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	var back ConvNet
+	if err := gob.NewDecoder(&buf).Decode(&back); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	raw := make([]byte, 180)
+	rand.New(rand.NewSource(2)).Read(raw)
+	before := back.Predict(raw) // builds the fast-path tables
+	v := back.WeightVersion()
+
+	opt := NewAdam(1e-2)
+	back.TrainBatch([][]byte{raw}, []float64{1}, opt)
+	if back.WeightVersion() == v {
+		t.Fatal("TrainBatch after decode did not bump the weight version")
+	}
+	sc := back.getScratch()
+	direct := back.forward(raw, sc).score
+	back.putScratch(sc)
+	if got := back.Predict(raw); got != direct {
+		t.Fatalf("post-train table score %v != direct %v (stale tables after decode)", got, direct)
+	}
+	if before == direct {
+		t.Fatal("training step changed nothing; test lost its signal")
+	}
+}
+
+func TestConvNetGobDecodeRejectsMismatchedWeights(t *testing.T) {
+	net := trainTiny(t, 0)
+	st := convNetState{
+		Cfg:   net.Cfg,
+		Embed: net.Embed.Data[:len(net.Embed.Data)-1], // truncated
+		ConvW: net.ConvW.Data, GateW: net.GateW.Data,
+		ConvB: net.ConvB, GateB: net.GateB,
+		OutW: net.OutW, OutB: net.OutB,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&st); err != nil {
+		t.Fatalf("encode state: %v", err)
+	}
+	var back ConvNet
+	if err := back.GobDecode(buf.Bytes()); err == nil {
+		t.Fatal("decode accepted a truncated embedding table")
+	}
+}

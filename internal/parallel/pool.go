@@ -1,0 +1,102 @@
+package parallel
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is the long-lived counterpart of the batch helpers above: a fixed set
+// of worker goroutines consuming a bounded submission queue. The batch
+// helpers fan a known slice of work across goroutines and return; a Pool
+// accepts work that arrives over time — the serving layer's attack jobs —
+// and makes overload explicit: TrySubmit never blocks, it reports a full
+// queue so the caller can shed load (HTTP 429) instead of buffering
+// unboundedly.
+type Pool struct {
+	mu     sync.RWMutex // guards closed vs. in-flight TrySubmit sends
+	closed bool
+
+	tasks   chan func()
+	workers sync.WaitGroup
+	pending atomic.Int64 // queued + running tasks
+	done    atomic.Int64 // tasks completed over the pool's lifetime
+}
+
+// NewPool starts a pool with the given worker count (resolved via Workers,
+// so <= 0 selects GOMAXPROCS) and queue capacity (minimum 1).
+func NewPool(workers, queue int) *Pool {
+	if queue < 1 {
+		queue = 1
+	}
+	p := &Pool{tasks: make(chan func(), queue)}
+	w := Workers(workers)
+	p.workers.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer p.workers.Done()
+			for task := range p.tasks {
+				task()
+				p.done.Add(1)
+				p.pending.Add(-1)
+			}
+		}()
+	}
+	return p
+}
+
+// TrySubmit enqueues task without blocking. It returns false when the queue
+// is full or the pool is closed — the admission-control signal.
+func (p *Pool) TrySubmit(task func()) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.tasks <- task:
+		p.pending.Add(1)
+		return true
+	default:
+		return false
+	}
+}
+
+// Pending returns the number of tasks submitted but not yet finished
+// (queued plus running).
+func (p *Pool) Pending() int { return int(p.pending.Load()) }
+
+// Queued returns the number of tasks waiting in the queue (not yet picked
+// up by a worker).
+func (p *Pool) Queued() int { return len(p.tasks) }
+
+// Done returns how many tasks have completed since the pool started.
+func (p *Pool) Done() int { return int(p.done.Load()) }
+
+// Drain closes the pool to new submissions and waits for every queued and
+// running task to finish, or for ctx to expire — the graceful-shutdown
+// primitive. On ctx expiry the workers keep running their current tasks in
+// the background; only the wait is abandoned. Drain is idempotent.
+func (p *Pool) Drain(ctx context.Context) error {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.tasks)
+	}
+	p.mu.Unlock()
+
+	idle := make(chan struct{})
+	go func() {
+		p.workers.Wait()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close drains the pool with no deadline.
+func (p *Pool) Close() { p.Drain(context.Background()) }

@@ -1,0 +1,110 @@
+package parallel
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsEverySubmittedTask(t *testing.T) {
+	p := NewPool(4, 64)
+	var ran atomic.Int64
+	for i := 0; i < 50; i++ {
+		if !p.TrySubmit(func() { ran.Add(1) }) {
+			t.Fatalf("task %d rejected with room in the queue", i)
+		}
+	}
+	p.Close()
+	if ran.Load() != 50 {
+		t.Fatalf("ran %d tasks, want 50", ran.Load())
+	}
+	if p.Done() != 50 || p.Pending() != 0 {
+		t.Fatalf("Done=%d Pending=%d after Close, want 50/0", p.Done(), p.Pending())
+	}
+}
+
+func TestPoolShedsLoadWhenFull(t *testing.T) {
+	block := make(chan struct{})
+	p := NewPool(1, 2)
+	var started sync.WaitGroup
+	started.Add(1)
+	p.TrySubmit(func() { started.Done(); <-block }) // occupies the worker
+	started.Wait()
+	if !p.TrySubmit(func() {}) || !p.TrySubmit(func() {}) {
+		t.Fatal("queue rejected tasks below capacity")
+	}
+	if p.TrySubmit(func() {}) {
+		t.Fatal("queue accepted a task beyond capacity")
+	}
+	if p.Queued() != 2 || p.Pending() != 3 {
+		t.Fatalf("Queued=%d Pending=%d, want 2/3", p.Queued(), p.Pending())
+	}
+	close(block)
+	p.Close()
+}
+
+func TestPoolDrainWaitsForRunningTasks(t *testing.T) {
+	p := NewPool(2, 8)
+	var finished atomic.Bool
+	p.TrySubmit(func() {
+		time.Sleep(50 * time.Millisecond)
+		finished.Store(true)
+	})
+	if err := p.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if !finished.Load() {
+		t.Fatal("Drain returned before the running task finished")
+	}
+	if p.TrySubmit(func() {}) {
+		t.Fatal("TrySubmit accepted work after Drain")
+	}
+	// Idempotent.
+	if err := p.Drain(context.Background()); err != nil {
+		t.Fatalf("second Drain: %v", err)
+	}
+}
+
+func TestPoolDrainHonorsDeadline(t *testing.T) {
+	p := NewPool(1, 1)
+	release := make(chan struct{})
+	p.TrySubmit(func() { <-release })
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := p.Drain(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Drain under stuck task: err=%v, want DeadlineExceeded", err)
+	}
+	close(release)
+	p.Close()
+}
+
+// TestPoolSubmitCloseRace hammers TrySubmit from many goroutines while the
+// pool drains — under -race this is the guard against the classic
+// send-on-closed-channel crash.
+func TestPoolSubmitCloseRace(t *testing.T) {
+	p := NewPool(2, 4)
+	var accepted atomic.Int64
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if p.TrySubmit(func() { ran.Add(1) }) {
+					accepted.Add(1)
+				}
+			}
+		}()
+	}
+	time.Sleep(time.Millisecond)
+	p.Close()
+	wg.Wait()
+	// Stragglers that won the race before close have all run by now.
+	p.workers.Wait()
+	if ran.Load() != accepted.Load() {
+		t.Fatalf("accepted %d tasks but ran %d", accepted.Load(), ran.Load())
+	}
+}

@@ -1,0 +1,224 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"mpass/internal/detect"
+)
+
+// Batcher is the micro-batching dispatcher: concurrent scan requests are
+// coalesced into one ScoreBatch call per resident detector, so the
+// lookup-table fast path's per-batch costs (table fetch, worker fan-out)
+// amortize across requests instead of being paid once per HTTP call.
+//
+// A single dispatcher goroutine alternates between collecting a batch —
+// until MaxBatch requests are in hand or Window has passed since the first
+// — and flushing it. While a flush is scoring, new arrivals queue in the
+// submission channel, which is what builds the next coalesced batch under
+// load. The channel is bounded: when it is full, Score fails fast with
+// ErrOverloaded and the HTTP layer sheds the request with a 429.
+//
+// Scores are bit-identical to calling Detector.Score per sample: the
+// dispatcher only regroups inputs, and the ScoreBatch implementations carry
+// the repo-wide batch-equals-single parity guarantee.
+type Batcher struct {
+	dets    []detect.Detector
+	max     int
+	window  time.Duration
+	metrics *Metrics
+
+	mu     sync.RWMutex // guards closed vs. in-flight submissions
+	closed bool
+	reqs   chan *scanReq
+	done   chan struct{} // dispatcher exited
+}
+
+// scanOut is one request's result: per-detector scores and hard labels, in
+// the batcher's detector order.
+type scanOut struct {
+	Scores []float64
+	Labels []bool
+}
+
+type scanReq struct {
+	raw []byte
+	out chan scanOut // buffered; the dispatcher never blocks on delivery
+}
+
+// Batcher errors surfaced to the HTTP layer.
+var (
+	ErrOverloaded = errors.New("server: scan queue full")
+	ErrClosed     = errors.New("server: shutting down")
+)
+
+// newBatcher starts the dispatcher. maxBatch and queue have sane minimums;
+// window <= 0 flushes as soon as the channel runs dry (pure opportunistic
+// coalescing).
+func newBatcher(dets []detect.Detector, maxBatch, queue int, window time.Duration, m *Metrics) *Batcher {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	if queue < maxBatch {
+		queue = maxBatch
+	}
+	b := &Batcher{
+		dets:    dets,
+		max:     maxBatch,
+		window:  window,
+		metrics: m,
+		reqs:    make(chan *scanReq, queue),
+		done:    make(chan struct{}),
+	}
+	go b.loop()
+	return b
+}
+
+// Score submits raw for scoring and waits for the coalesced result. It
+// fails fast with ErrOverloaded when the submission queue is full, ErrClosed
+// after shutdown, or ctx's error when the caller's deadline expires first.
+func (b *Batcher) Score(ctx context.Context, raw []byte) (scanOut, error) {
+	req := &scanReq{raw: raw, out: make(chan scanOut, 1)}
+	b.mu.RLock()
+	if b.closed {
+		b.mu.RUnlock()
+		return scanOut{}, ErrClosed
+	}
+	select {
+	case b.reqs <- req:
+		b.mu.RUnlock()
+	default:
+		b.mu.RUnlock()
+		return scanOut{}, ErrOverloaded
+	}
+	select {
+	case out := <-req.out:
+		return out, nil
+	case <-ctx.Done():
+		// The dispatcher will still deliver into the buffered channel; the
+		// result is simply dropped.
+		return scanOut{}, ctx.Err()
+	}
+}
+
+// ScoreWait is Score with backpressure instead of shedding: when the queue
+// is full it blocks until there is room (or ctx expires). Resident attack
+// jobs use it for their oracle queries — a job that has already been
+// admitted should slow down under load, not lose a query mid-attack.
+func (b *Batcher) ScoreWait(ctx context.Context, raw []byte) (scanOut, error) {
+	req := &scanReq{raw: raw, out: make(chan scanOut, 1)}
+	b.mu.RLock()
+	if b.closed {
+		b.mu.RUnlock()
+		return scanOut{}, ErrClosed
+	}
+	// Holding the read lock while blocked on the send is safe: Close waits
+	// for the write lock, and the dispatcher keeps consuming until Close
+	// actually closes the channel, so the send always completes.
+	select {
+	case b.reqs <- req:
+		b.mu.RUnlock()
+	case <-ctx.Done():
+		b.mu.RUnlock()
+		return scanOut{}, ctx.Err()
+	}
+	select {
+	case out := <-req.out:
+		return out, nil
+	case <-ctx.Done():
+		return scanOut{}, ctx.Err()
+	}
+}
+
+// Close stops accepting requests, lets the dispatcher flush everything
+// already queued, and waits for it to exit.
+func (b *Batcher) Close() {
+	b.mu.Lock()
+	if !b.closed {
+		b.closed = true
+		close(b.reqs)
+	}
+	b.mu.Unlock()
+	<-b.done
+}
+
+// loop is the dispatcher goroutine.
+func (b *Batcher) loop() {
+	defer close(b.done)
+	batch := make([]*scanReq, 0, b.max)
+	for {
+		first, ok := <-b.reqs
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], first)
+		if b.window > 0 {
+			timer := time.NewTimer(b.window)
+		collect:
+			for len(batch) < b.max {
+				select {
+				case r, open := <-b.reqs:
+					if !open {
+						break collect
+					}
+					batch = append(batch, r)
+				case <-timer.C:
+					break collect
+				}
+			}
+			timer.Stop()
+		} else {
+			for len(batch) < b.max {
+				r, open := <-b.reqs
+				if !open {
+					break
+				}
+				batch = append(batch, r)
+				if len(b.reqs) == 0 {
+					break
+				}
+			}
+		}
+		b.flush(batch)
+	}
+}
+
+// flush scores one coalesced batch and fans results back out.
+func (b *Batcher) flush(batch []*scanReq) {
+	if b.metrics != nil {
+		b.metrics.observeBatch(len(batch))
+	}
+	raws := make([][]byte, len(batch))
+	for i, r := range batch {
+		raws[i] = r.raw
+	}
+	outs := make([]scanOut, len(batch))
+	for i := range outs {
+		outs[i] = scanOut{
+			Scores: make([]float64, len(b.dets)),
+			Labels: make([]bool, len(b.dets)),
+		}
+	}
+	for di, d := range b.dets {
+		scores := detect.ScoreAll(d, raws, 0)
+		var labels []bool
+		if th, ok := d.(detect.Thresholder); ok {
+			thr := th.DecisionThreshold()
+			labels = make([]bool, len(scores))
+			for i, s := range scores {
+				labels[i] = s >= thr
+			}
+		} else {
+			labels = detect.LabelAll(d, raws, 0)
+		}
+		for i := range batch {
+			outs[i].Scores[di] = scores[i]
+			outs[i].Labels[di] = labels[i]
+		}
+	}
+	for i, r := range batch {
+		r.out <- outs[i]
+	}
+}

@@ -1,0 +1,72 @@
+package server
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"testing"
+)
+
+func cacheKey(i int) [32]byte { return sha256.Sum256([]byte(fmt.Sprintf("sample-%d", i))) }
+
+func cacheOut(i int) scanOut {
+	return scanOut{Scores: []float64{float64(i)}, Labels: []bool{i%2 == 0}}
+}
+
+func TestScoreCacheEvictsLRU(t *testing.T) {
+	c := newScoreCache(3)
+	for i := 0; i < 3; i++ {
+		c.put(cacheKey(i), cacheOut(i))
+	}
+	// Touch 0 so 1 becomes the eviction victim.
+	if _, ok := c.get(cacheKey(0)); !ok {
+		t.Fatal("key 0 missing before eviction")
+	}
+	c.put(cacheKey(3), cacheOut(3))
+	if c.len() != 3 {
+		t.Fatalf("len = %d, want 3", c.len())
+	}
+	if _, ok := c.get(cacheKey(1)); ok {
+		t.Fatal("LRU key 1 survived eviction")
+	}
+	for _, i := range []int{0, 2, 3} {
+		out, ok := c.get(cacheKey(i))
+		if !ok {
+			t.Fatalf("key %d evicted unexpectedly", i)
+		}
+		if out.Scores[0] != float64(i) {
+			t.Fatalf("key %d returned score %v", i, out.Scores[0])
+		}
+	}
+}
+
+func TestScoreCachePutRefreshesExisting(t *testing.T) {
+	c := newScoreCache(2)
+	c.put(cacheKey(0), cacheOut(0))
+	c.put(cacheKey(1), cacheOut(1))
+	c.put(cacheKey(0), scanOut{Scores: []float64{99}, Labels: []bool{true}})
+	if c.len() != 2 {
+		t.Fatalf("len = %d after refresh, want 2", c.len())
+	}
+	out, ok := c.get(cacheKey(0))
+	if !ok || out.Scores[0] != 99 {
+		t.Fatalf("refreshed entry = %v ok=%v", out, ok)
+	}
+	// The refresh moved key 0 to the front, so key 1 is evicted next.
+	c.put(cacheKey(2), cacheOut(2))
+	if _, ok := c.get(cacheKey(1)); ok {
+		t.Fatal("key 1 survived eviction after refresh reordered recency")
+	}
+}
+
+func TestScoreCacheDisabled(t *testing.T) {
+	for _, capacity := range []int{0, -5} {
+		c := newScoreCache(capacity)
+		c.put(cacheKey(0), cacheOut(0))
+		if _, ok := c.get(cacheKey(0)); ok {
+			t.Fatalf("capacity %d: cache stored an entry", capacity)
+		}
+		if c.len() != 0 {
+			t.Fatalf("capacity %d: len = %d", capacity, c.len())
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+
+	"mpass/internal/core"
+	"mpass/internal/parallel"
+	"mpass/internal/sandbox"
+)
+
+// JobState is an attack job's lifecycle stage.
+type JobState string
+
+// Job lifecycle: queued -> running -> done | failed.
+const (
+	JobQueued  JobState = "queued"
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+	JobFailed  JobState = "failed"
+)
+
+// job is the registry's mutable record; reads and writes go through the
+// registry mutex.
+type job struct {
+	id     string
+	target string
+	state  JobState
+
+	created  time.Time
+	started  time.Time
+	finished time.Time
+
+	// attack outcome
+	success    bool
+	queries    int
+	rounds     int
+	ae         []byte
+	aprPercent float64
+	functional *bool // sandbox verdict on successful AEs
+	errMsg     string
+}
+
+// JobView is the JSON form of a job returned by GET /v1/jobs/{id}.
+type JobView struct {
+	ID      string   `json:"id"`
+	Target  string   `json:"target"`
+	State   JobState `json:"state"`
+	Created string   `json:"created"`
+
+	Success    bool    `json:"success,omitempty"`
+	Queries    int     `json:"queries,omitempty"`
+	Rounds     int     `json:"rounds,omitempty"`
+	AESize     int     `json:"ae_size,omitempty"`
+	AESHA256   string  `json:"ae_sha256,omitempty"`
+	AEBase64   string  `json:"ae_base64,omitempty"`
+	APRPercent float64 `json:"apr_percent,omitempty"`
+	Functional *bool   `json:"functionality_preserved,omitempty"`
+	Error      string  `json:"error,omitempty"`
+	ElapsedMs  float64 `json:"elapsed_ms,omitempty"`
+}
+
+// jobRegistry tracks attack jobs and runs them on a bounded parallel.Pool.
+// The pool's queue is the admission bound: a full queue rejects the job at
+// submission time and the HTTP layer answers 429.
+type jobRegistry struct {
+	mu   sync.Mutex
+	jobs map[string]*job
+	seq  int64
+	pool *parallel.Pool
+}
+
+func newJobRegistry(workers, queue int) *jobRegistry {
+	return &jobRegistry{
+		jobs: make(map[string]*job),
+		pool: parallel.NewPool(workers, queue),
+	}
+}
+
+// submit registers a job and queues run; it returns ErrOverloaded when the
+// pool queue is full and ErrClosed once the registry drains.
+func (r *jobRegistry) submit(target string, run func(j *jobHandle)) (string, error) {
+	r.mu.Lock()
+	r.seq++
+	j := &job{
+		id:      fmt.Sprintf("job-%06d", r.seq),
+		target:  target,
+		state:   JobQueued,
+		created: time.Now(),
+	}
+	r.jobs[j.id] = j
+	r.mu.Unlock()
+
+	h := &jobHandle{reg: r, id: j.id}
+	ok := r.pool.TrySubmit(func() {
+		h.setRunning()
+		run(h)
+	})
+	if !ok {
+		r.mu.Lock()
+		delete(r.jobs, j.id)
+		r.mu.Unlock()
+		return "", ErrOverloaded
+	}
+	return j.id, nil
+}
+
+// view snapshots a job for the HTTP layer.
+func (r *jobRegistry) view(id string, includeAE bool) (JobView, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j, ok := r.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	v := JobView{
+		ID:      j.id,
+		Target:  j.target,
+		State:   j.state,
+		Created: j.created.UTC().Format(time.RFC3339Nano),
+	}
+	if j.state == JobDone || j.state == JobFailed {
+		v.Success = j.success
+		v.Queries = j.queries
+		v.Rounds = j.rounds
+		v.Error = j.errMsg
+		v.ElapsedMs = float64(j.finished.Sub(j.started)) / 1e6
+		if j.success {
+			v.AESize = len(j.ae)
+			sum := sha256.Sum256(j.ae)
+			v.AESHA256 = hex.EncodeToString(sum[:])
+			v.APRPercent = j.aprPercent
+			v.Functional = j.functional
+			if includeAE {
+				v.AEBase64 = base64.StdEncoding.EncodeToString(j.ae)
+			}
+		}
+	}
+	return v, true
+}
+
+// drain stops admission and waits for queued and running jobs within ctx.
+func (r *jobRegistry) drain(ctx context.Context) error { return r.pool.Drain(ctx) }
+
+// jobHandle lets the runner update its record without touching the map.
+type jobHandle struct {
+	reg *jobRegistry
+	id  string
+}
+
+func (h *jobHandle) update(fn func(j *job)) {
+	h.reg.mu.Lock()
+	defer h.reg.mu.Unlock()
+	if j, ok := h.reg.jobs[h.id]; ok {
+		fn(j)
+	}
+}
+
+func (h *jobHandle) setRunning() {
+	h.update(func(j *job) {
+		j.state = JobRunning
+		j.started = time.Now()
+	})
+}
+
+// finish records an attack result (or error) and flips the terminal state.
+func (h *jobHandle) finish(original []byte, res *core.Result, err error) {
+	var functional *bool
+	if err == nil && res.Success {
+		if ok, serr := sandbox.BehaviourPreserved(original, res.AE); serr == nil {
+			functional = &ok
+		}
+	}
+	h.update(func(j *job) {
+		j.finished = time.Now()
+		if err != nil {
+			j.state = JobFailed
+			j.errMsg = err.Error()
+			return
+		}
+		j.state = JobDone
+		j.success = res.Success
+		j.queries = res.Queries
+		j.rounds = res.Rounds
+		if res.Success {
+			j.ae = res.AE
+			j.aprPercent = 100 * float64(len(res.AE)-len(original)) / float64(len(original))
+			j.functional = functional
+		}
+	})
+}

@@ -1,0 +1,404 @@
+// Package server is the serving subsystem behind cmd/mpassd: an HTTP
+// scan/attack service that keeps a trained detector suite resident and
+// answers on-demand queries — the detector-as-a-service oracle the
+// query-based threat model of MPass (and GAMMA's black-box setting)
+// presumes.
+//
+// The pipeline, request to response:
+//
+//	POST /v1/scan   -> admission (bounded queue, 429 on overload)
+//	                -> SHA-256 LRU score cache
+//	                -> micro-batching dispatcher (Batcher) -> ScoreBatch
+//	POST /v1/attack -> admission (bounded job queue, 429 on overload)
+//	                -> parallel.Pool worker -> MPass attack whose oracle
+//	                   queries loop back through the cache + batcher
+//	GET  /v1/jobs/{id}, /healthz, /metrics
+//
+// Batched scores are bit-identical to single-sample Detector.Score calls;
+// server_test.go holds the parity gate. Shutdown drains: in-flight scans
+// flush, queued and running attack jobs complete, new work is rejected.
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"mpass/internal/core"
+	"mpass/internal/detect"
+)
+
+// AttackFunc runs one adversarial-example attack on original against the
+// named target, querying it only through oracle. Implementations own their
+// attack configuration; seed makes each job's randomness independent.
+type AttackFunc func(target detect.Detector, original []byte, oracle core.Oracle, seed int64) (*core.Result, error)
+
+// MPassAttack is the production AttackFunc: the full MPass pipeline with the
+// suite's known-model ensemble for the chosen target (paper footnote 6
+// excludes LightGBM) and the given benign-donor pool.
+func MPassAttack(suite *detect.Suite, donors [][]byte, maxQueries int) AttackFunc {
+	return func(target detect.Detector, original []byte, oracle core.Oracle, seed int64) (*core.Result, error) {
+		cfg := core.DefaultConfig(suite.KnownFor(target.Name()), donors)
+		if maxQueries > 0 {
+			cfg.MaxQueries = maxQueries
+		}
+		cfg.Seed = seed
+		attacker, err := core.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return attacker.Attack(original, oracle)
+	}
+}
+
+// Config sizes the serving pipeline. Zero values select the defaults noted
+// per field.
+type Config struct {
+	// Detectors is the resident suite; scan responses list models in this
+	// order. Required, non-empty.
+	Detectors []detect.Detector
+	// Attack builds each /v1/attack job's attack run. Nil disables the
+	// attack endpoints (501).
+	Attack AttackFunc
+
+	MaxBatch    int           // max requests per coalesced batch (default 32)
+	BatchWindow time.Duration // flush window after the first request (default 2ms)
+	ScanQueue   int           // scan admission queue; full = 429 (default 256)
+	CacheSize   int           // LRU score-cache entries; 0 disables (default 4096)
+
+	AttackWorkers int // concurrent attack jobs (default 2)
+	AttackQueue   int // attack admission queue; full = 429 (default 64)
+
+	RequestTimeout time.Duration // per-request deadline (default 10s)
+	MaxBodyBytes   int64         // largest accepted PE upload (default 8 MiB)
+
+	Seed int64 // base seed for per-job attack randomness
+}
+
+func (c *Config) fillDefaults() {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.BatchWindow == 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.ScanQueue <= 0 {
+		c.ScanQueue = 256
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 4096
+	}
+	if c.AttackWorkers <= 0 {
+		c.AttackWorkers = 2
+	}
+	if c.AttackQueue <= 0 {
+		c.AttackQueue = 64
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+}
+
+// Server is the resident scan/attack service. Build one with New, mount
+// Handler on any http.Server (or httptest), and Shutdown to drain.
+type Server struct {
+	cfg     Config
+	metrics Metrics
+	batcher *Batcher
+	cache   *scoreCache
+	jobs    *jobRegistry
+
+	names  []string
+	byName map[string]int
+
+	draining atomic.Bool
+	seedSeq  atomic.Int64
+	started  time.Time
+	mux      *http.ServeMux
+}
+
+// New validates cfg, starts the batching dispatcher and the attack worker
+// pool, and returns the ready-to-serve Server.
+func New(cfg Config) (*Server, error) {
+	if len(cfg.Detectors) == 0 {
+		return nil, fmt.Errorf("server: no detectors configured")
+	}
+	cfg.fillDefaults()
+	s := &Server{
+		cfg:     cfg,
+		cache:   newScoreCache(cfg.CacheSize),
+		names:   make([]string, len(cfg.Detectors)),
+		byName:  make(map[string]int, len(cfg.Detectors)),
+		started: time.Now(),
+	}
+	for i, d := range cfg.Detectors {
+		name := d.Name()
+		if _, dup := s.byName[name]; dup {
+			return nil, fmt.Errorf("server: duplicate detector name %q", name)
+		}
+		s.names[i] = name
+		s.byName[name] = i
+	}
+	s.batcher = newBatcher(cfg.Detectors, cfg.MaxBatch, cfg.ScanQueue, cfg.BatchWindow, &s.metrics)
+	s.jobs = newJobRegistry(cfg.AttackWorkers, cfg.AttackQueue)
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/scan", s.handleScan)
+	s.mux.HandleFunc("POST /v1/attack", s.handleAttack)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s, nil
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the live counter set (tests and embedding daemons).
+func (s *Server) Metrics() *Metrics { return &s.metrics }
+
+// Shutdown drains the serving pipeline: new scans and attacks are rejected
+// immediately, queued and running attack jobs complete (bounded by ctx),
+// and the batcher flushes everything in flight before it stops. The caller
+// is responsible for the HTTP listener's own Shutdown (http.Server waits
+// for in-flight handlers, which in turn wait on the batcher).
+func (s *Server) Shutdown(ctx context.Context) error {
+	if !s.draining.CompareAndSwap(false, true) {
+		return nil
+	}
+	err := s.jobs.drain(ctx)
+	s.batcher.Close()
+	return err
+}
+
+// scan runs the cache -> batcher pipeline. wait selects backpressure
+// (internal oracle traffic) over shedding (interactive requests).
+func (s *Server) scan(ctx context.Context, raw []byte, wait bool) (scanOut, [32]byte, bool, error) {
+	key := sha256.Sum256(raw)
+	if out, ok := s.cache.get(key); ok {
+		s.metrics.CacheHits.Add(1)
+		return out, key, true, nil
+	}
+	s.metrics.CacheMisses.Add(1)
+	var out scanOut
+	var err error
+	if wait {
+		out, err = s.batcher.ScoreWait(ctx, raw)
+	} else {
+		out, err = s.batcher.Score(ctx, raw)
+	}
+	if err != nil {
+		return scanOut{}, key, false, err
+	}
+	s.cache.put(key, out)
+	return out, key, false, nil
+}
+
+// residentOracle adapts the server's scan pipeline into the hard-label
+// Oracle an attack queries. Errors fail closed (detected): a scanner that
+// cannot answer must not look like an evasion.
+type residentOracle struct {
+	s    *Server
+	idx  int
+	name string
+}
+
+func (o *residentOracle) Name() string { return o.name }
+
+func (o *residentOracle) Detected(raw []byte) bool {
+	o.s.metrics.OracleQueries.Add(1)
+	ctx, cancel := context.WithTimeout(context.Background(), o.s.cfg.RequestTimeout)
+	defer cancel()
+	out, _, _, err := o.s.scan(ctx, raw, true)
+	if err != nil {
+		return true
+	}
+	return out.Labels[o.idx]
+}
+
+// scanModelResult is one detector's verdict in a scan response.
+type scanModelResult struct {
+	Model     string  `json:"model"`
+	Score     float64 `json:"score"`
+	Malicious bool    `json:"malicious"`
+}
+
+// scanResponse is the POST /v1/scan response document.
+type scanResponse struct {
+	SHA256    string            `json:"sha256"`
+	Size      int               `json:"size"`
+	Cached    bool              `json:"cached"`
+	Malicious bool              `json:"malicious"` // any model flags it
+	Results   []scanModelResult `json:"results"`
+}
+
+func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	raw, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	s.metrics.ScanRequests.Add(1)
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	out, key, cached, err := s.scan(ctx, raw, false)
+	s.metrics.ScanLatency.Observe(time.Since(start))
+	if err != nil {
+		s.scanError(w, err)
+		return
+	}
+	resp := scanResponse{
+		SHA256: hex.EncodeToString(key[:]),
+		Size:   len(raw),
+		Cached: cached,
+	}
+	for i, name := range s.names {
+		resp.Results = append(resp.Results, scanModelResult{
+			Model: name, Score: out.Scores[i], Malicious: out.Labels[i],
+		})
+		resp.Malicious = resp.Malicious || out.Labels[i]
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// attackResponse is the POST /v1/attack response document.
+type attackResponse struct {
+	ID     string `json:"id"`
+	Target string `json:"target"`
+	Poll   string `json:"poll"`
+}
+
+func (s *Server) handleAttack(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	if s.cfg.Attack == nil {
+		writeError(w, http.StatusNotImplemented, "attack endpoint disabled")
+		return
+	}
+	targetName := r.URL.Query().Get("target")
+	if targetName == "" {
+		targetName = s.names[0]
+	}
+	idx, ok := s.byName[targetName]
+	if !ok {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown target %q (have %v)", targetName, s.names))
+		return
+	}
+	raw, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	target := s.cfg.Detectors[idx]
+	oracle := &residentOracle{s: s, idx: idx, name: targetName}
+	seed := s.cfg.Seed + s.seedSeq.Add(1)*7919
+	id, err := s.jobs.submit(targetName, func(h *jobHandle) {
+		res, aerr := s.cfg.Attack(target, raw, &core.CountingOracle{Oracle: oracle}, seed)
+		h.finish(raw, res, aerr)
+	})
+	if err != nil {
+		s.metrics.AttackRejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "attack queue full")
+		return
+	}
+	s.metrics.AttackRequests.Add(1)
+	writeJSON(w, http.StatusAccepted, attackResponse{ID: id, Target: targetName, Poll: "/v1/jobs/" + id})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	includeAE := r.URL.Query().Get("ae") == "1"
+	v, ok := s.jobs.view(id, includeAE)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"models":   s.names,
+		"uptime_s": time.Since(s.started).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.metrics.Snapshot()
+	snap.JobsQueued = s.jobs.pool.Queued()
+	snap.JobsPending = s.jobs.pool.Pending()
+	snap.JobsDone = s.jobs.pool.Done()
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// readBody reads the raw PE upload, enforcing the size cap. On failure it
+// writes the error response and returns ok=false.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("body exceeds %d bytes", tooBig.Limit))
+		} else {
+			writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		}
+		return nil, false
+	}
+	if len(raw) == 0 {
+		writeError(w, http.StatusBadRequest, "empty body; POST the PE bytes")
+		return nil, false
+	}
+	return raw, true
+}
+
+// scanError maps pipeline errors to responses: queue-full sheds with 429,
+// deadline expiry is 504, shutdown is 503.
+func (s *Server) scanError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		s.metrics.ScanRejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "scan queue full")
+	case errors.Is(err, context.DeadlineExceeded):
+		s.metrics.ScanErrors.Add(1)
+		writeError(w, http.StatusGatewayTimeout, "scan timed out")
+	case errors.Is(err, ErrClosed):
+		s.metrics.ScanErrors.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "draining")
+	default:
+		s.metrics.ScanErrors.Add(1)
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,62 @@
+#!/bin/sh
+# serve_bench.sh — boot mpassd on a random port, drive it with mpass-load,
+# and shut it down gracefully via SIGTERM. No curl: mpass-load does the
+# /healthz preflight and the /metrics cross-check itself.
+#
+#   smoke  small corpus, short burst, one attack job  (make serve-smoke)
+#   bench  bigger burst; stdout is `go test -bench`-style lines for
+#          cmd/benchjson                               (make bench-json)
+set -eu
+
+mode="${1:-smoke}"
+case "$mode" in
+	smoke) mal=24; ben=24; clients=4; requests=120; attacks=1 ;;
+	bench) mal=40; ben=40; clients=8; requests=600; attacks=0 ;;
+	*) echo "usage: $0 [smoke|bench]" >&2; exit 2 ;;
+esac
+
+tmp="$(mktemp -d)"
+pid=
+cleanup() {
+	status=$?
+	if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
+		kill "$pid" 2>/dev/null || true
+		wait "$pid" 2>/dev/null || true
+	fi
+	rm -rf "$tmp"
+	exit $status
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$tmp/mpassd" ./cmd/mpassd
+go build -o "$tmp/mpass-load" ./cmd/mpass-load
+
+"$tmp/mpassd" -addr 127.0.0.1:0 -addr-file "$tmp/addr" \
+	-models "$tmp/models.gob" -malware "$mal" -benign "$ben" \
+	-max-queries 40 -drain 30s >&2 &
+pid=$!
+
+# The address file appears once training finished and the socket is bound.
+i=0
+while [ ! -s "$tmp/addr" ]; do
+	i=$((i + 1))
+	if [ "$i" -gt 1200 ]; then
+		echo "serve_bench: mpassd never wrote its address" >&2
+		exit 1
+	fi
+	if ! kill -0 "$pid" 2>/dev/null; then
+		echo "serve_bench: mpassd exited before listening" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+addr="$(cat "$tmp/addr")"
+
+"$tmp/mpass-load" -addr "$addr" \
+	-clients "$clients" -requests "$requests" -attacks "$attacks"
+
+# Graceful drain: mpassd exits non-zero if in-flight work failed to finish.
+kill -TERM "$pid"
+wait "$pid"
+pid=
+echo "serve_bench: graceful shutdown ok" >&2
