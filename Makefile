@@ -15,8 +15,8 @@ PARALLEL_PKGS = ./internal/parallel ./internal/tensor ./internal/nn \
 BENCH_JSON ?= BENCH_2.json
 SERVE_BENCH_JSON ?= BENCH_3.json
 
-.PHONY: all build vet test race race-all bench bench-full bench-json alloc \
-        serve-smoke ci
+.PHONY: all build vet lint test race race-all bench bench-full bench-json \
+        alloc serve-smoke ci
 
 all: build
 
@@ -25,6 +25,13 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the repo's own invariant analyzers (internal/analysis via
+# cmd/mpass-lint): goroutine discipline, weight-mutation guards,
+# determinism, typed atomics, bounded serving queues, and the
+# //mpass:zeroalloc pragma. Non-zero exit on any finding.
+lint:
+	$(GO) run ./cmd/mpass-lint ./...
 
 test:
 	$(GO) test ./...
@@ -64,4 +71,4 @@ serve-smoke:
 alloc:
 	$(GO) test -run 'ZeroAlloc' -count=1 ./internal/nn
 
-ci: build vet test race alloc bench serve-smoke
+ci: build vet lint test race alloc bench serve-smoke

@@ -1,0 +1,95 @@
+// Command mpass-lint runs the repo's invariant analyzers (internal/analysis)
+// over a package pattern and exits non-zero when any finding survives
+// suppression:
+//
+//	mpass-lint ./...                # plain findings, one per line
+//	mpass-lint -json ./...          # machine-readable findings
+//	mpass-lint -run nakedgo,atomics # restrict the analyzer set
+//	mpass-lint -list                # describe the analyzers
+//
+// Findings are suppressed case by case with
+// `//lint:ignore <analyzer> <reason>` on the flagged line or the line
+// above; the reason is mandatory. `make lint` wires this into `make ci`.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"mpass/internal/analysis"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	run := flag.String("run", "", "comma-separated analyzer subset (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	dir := flag.String("C", ".", "directory to resolve package patterns in")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-13s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := analysis.All()
+	if *run != "" {
+		var err error
+		if analyzers, err = analysis.ByName(*run); err != nil {
+			fatal(err)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(*dir, patterns...)
+	if err != nil {
+		fatal(err)
+	}
+
+	diags := analysis.Run(pkgs, analyzers)
+	relativize(diags, *dir)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// relativize rewrites absolute file paths relative to the working
+// directory so output is stable across checkouts.
+func relativize(diags []analysis.Diagnostic, dir string) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return
+	}
+	for i := range diags {
+		if rel, err := filepath.Rel(abs, diags[i].File); err == nil && !filepath.IsAbs(rel) {
+			diags[i].File = rel
+			diags[i].Pos.Filename = rel
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mpass-lint:", err)
+	os.Exit(2)
+}

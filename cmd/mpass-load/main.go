@@ -23,11 +23,11 @@ import (
 	"net/http"
 	"os"
 	"sort"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"mpass/internal/corpus"
+	"mpass/internal/parallel"
 )
 
 func main() {
@@ -63,36 +63,27 @@ func main() {
 		pool[i] = g.Sample(fam).Raw
 	}
 
+	// The client burst is exactly the pool layer's shape: -clients workers
+	// draining a shared request counter, each request writing its own
+	// latency slot.
 	lat := make([]time.Duration, *requests)
-	var next, ok, shed, failed atomic.Int64
-	var wg sync.WaitGroup
+	var ok, shed, failed atomic.Int64
 	start := time.Now()
-	for c := 0; c < *clients; c++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= *requests {
-					return
-				}
-				t0 := time.Now()
-				status, err := postScan(base, pool[i%len(pool)])
-				lat[i] = time.Since(t0)
-				switch {
-				case err != nil || status >= 500:
-					failed.Add(1)
-				case status == http.StatusTooManyRequests:
-					shed.Add(1)
-				case status == http.StatusOK:
-					ok.Add(1)
-				default:
-					failed.Add(1)
-				}
-			}
-		}()
-	}
-	wg.Wait()
+	parallel.ForEach(*clients, *requests, func(i int) {
+		t0 := time.Now()
+		status, err := postScan(base, pool[i%len(pool)])
+		lat[i] = time.Since(t0)
+		switch {
+		case err != nil || status >= 500:
+			failed.Add(1)
+		case status == http.StatusTooManyRequests:
+			shed.Add(1)
+		case status == http.StatusOK:
+			ok.Add(1)
+		default:
+			failed.Add(1)
+		}
+	})
 	elapsed := time.Since(start)
 
 	if ok.Load() == 0 {

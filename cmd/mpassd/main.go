@@ -103,6 +103,9 @@ func main() {
 
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	serveErr := make(chan error, 1)
+	// Serve blocks for the daemon's whole lifetime; the pool layer is for
+	// bounded units of work, not a process-long accept loop.
+	//lint:ignore nakedgo process-lifetime http accept loop, not pool work
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 
 	sig := make(chan os.Signal, 1)
@@ -121,6 +124,7 @@ func main() {
 	// for in-flight handlers. They overlap so one slow half does not eat the
 	// other's share of the drain budget.
 	pipelineDone := make(chan error, 1)
+	//lint:ignore nakedgo one-shot shutdown overlap; both halves share the drain deadline
 	go func() { pipelineDone <- srv.Shutdown(ctx) }()
 	httpErr := httpSrv.Shutdown(ctx)
 	pipeErr := <-pipelineDone

@@ -1,0 +1,215 @@
+// Package analysis is the repo's static-analysis framework: a small,
+// stdlib-only (go/parser + go/types, no x/tools) analyzer harness plus the
+// mpass-specific invariant checks that cmd/mpass-lint runs over the tree.
+//
+// The invariants it guards were bought with parity and race tests in PRs
+// 1–3 — bit-identical scoring across worker counts and the lookup-table
+// fast path, pool-mediated concurrency, shed-or-bounded-wait serving
+// queues, zero-allocation steady-state hot paths. Runtime tests catch a
+// regression after it ships; the analyzers here reject the shapes of code
+// that cause one at lint time.
+//
+// Findings can be silenced case by case with
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// placed at the end of the flagged line or on its own line directly above.
+// The reason is mandatory; a directive without one is itself reported.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check. Run inspects a single
+// type-checked package and reports findings through the Pass.
+type Analyzer struct {
+	Name string // short identifier, used in //lint:ignore directives
+	Doc  string // one-line description of the invariant
+	Run  func(*Pass)
+}
+
+// Pass hands one package to one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, resolved to a concrete file position.
+type Diagnostic struct {
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Analyzer string         `json:"analyzer"`
+	Message  string         `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// Package is one loaded, type-checked package (test files excluded).
+type Package struct {
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// All returns the full analyzer set in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		NakedGo,
+		WeightsGuard,
+		Determinism,
+		Atomics,
+		BoundedQueue,
+		ZeroAlloc,
+	}
+}
+
+// ByName resolves a comma-separated analyzer list against All, erroring on
+// unknown names.
+func ByName(list string) ([]*Analyzer, error) {
+	var out []*Analyzer
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		found := false
+		for _, a := range All() {
+			if a.Name == name {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("analysis: unknown analyzer %q", name)
+		}
+	}
+	return out, nil
+}
+
+// Run applies every analyzer to every package, drops findings covered by a
+// //lint:ignore directive, and returns the rest sorted by position. A
+// malformed directive (missing analyzer name or reason) is reported as a
+// finding of the pseudo-analyzer "lint".
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var raw []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, diags: &raw})
+		}
+	}
+
+	sup, malformed := collectSuppressions(pkgs)
+	var out []Diagnostic
+	for _, d := range raw {
+		if sup.covers(d) {
+			continue
+		}
+		out = append(out, d)
+	}
+	out = append(out, malformed...)
+
+	for i := range out {
+		out[i].File = out[i].Pos.Filename
+		out[i].Line = out[i].Pos.Line
+		out[i].Col = out[i].Pos.Column
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// suppressions maps file -> line -> analyzer names silenced on that line.
+// A directive covers its own line (trailing-comment form) and the line
+// below it (directive-above form).
+type suppressions map[string]map[int]map[string]bool
+
+func (s suppressions) covers(d Diagnostic) bool {
+	lines := s[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, ln := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
+		if lines[ln][d.Analyzer] || lines[ln]["*"] {
+			return true
+		}
+	}
+	return false
+}
+
+const ignoreDirective = "lint:ignore"
+
+// collectSuppressions scans every comment in every file for lint:ignore
+// directives, returning the suppression index and diagnostics for
+// malformed directives.
+func collectSuppressions(pkgs []*Package) (suppressions, []Diagnostic) {
+	sup := suppressions{}
+	var malformed []Diagnostic
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimSpace(text)
+					if !strings.HasPrefix(text, ignoreDirective) {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					fields := strings.Fields(strings.TrimPrefix(text, ignoreDirective))
+					if len(fields) < 2 {
+						malformed = append(malformed, Diagnostic{
+							Pos:      pos,
+							Analyzer: "lint",
+							Message:  "malformed //lint:ignore: want \"//lint:ignore <analyzer> <reason>\" with a non-empty reason",
+						})
+						continue
+					}
+					lines := sup[pos.Filename]
+					if lines == nil {
+						lines = map[int]map[string]bool{}
+						sup[pos.Filename] = lines
+					}
+					if lines[pos.Line] == nil {
+						lines[pos.Line] = map[string]bool{}
+					}
+					lines[pos.Line][fields[0]] = true
+				}
+			}
+		}
+	}
+	return sup, malformed
+}

@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// loadFixtures loads the testdata module once per test binary.
+func loadFixtures(t *testing.T) []*Package {
+	t.Helper()
+	pkgs, err := Load("testdata", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no fixture packages loaded")
+	}
+	return pkgs
+}
+
+var wantRE = regexp.MustCompile(`^//\s*want\s+(.*)$`)
+var wantArgRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// wantExpectation is one `// want "regex"` golden comment.
+type wantExpectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// scanWants collects the golden expectations per file:line.
+func scanWants(t *testing.T, pkgs []*Package) map[string][]*wantExpectation {
+	t.Helper()
+	wants := map[string][]*wantExpectation{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					args := wantArgRE.FindAllStringSubmatch(m[1], -1)
+					if len(args) == 0 {
+						t.Errorf("%s: want comment with no quoted pattern", key)
+						continue
+					}
+					for _, a := range args {
+						re, err := regexp.Compile(a[1])
+						if err != nil {
+							t.Errorf("%s: bad want pattern %q: %v", key, a[1], err)
+							continue
+						}
+						wants[key] = append(wants[key], &wantExpectation{re: re})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// TestFixtures runs every analyzer over the fixture module and checks the
+// findings against the // want golden comments: every want must be hit,
+// and every finding must be wanted. Each analyzer has at least one firing
+// and one suppressed fixture case — a suppression that stopped working
+// shows up here as an unexpected finding.
+func TestFixtures(t *testing.T) {
+	pkgs := loadFixtures(t)
+	diags := Run(pkgs, All())
+	wants := scanWants(t, pkgs)
+
+	for _, d := range diags {
+		if strings.Contains(d.File, "badsuppress") {
+			continue // asserted by TestMalformedSuppression
+		}
+		key := fmt.Sprintf("%s:%d", d.File, d.Line)
+		found := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Analyzer+": "+d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: no finding matched want %q", key, w.re)
+			}
+		}
+	}
+}
+
+// TestMalformedSuppression asserts that a reason-less lint:ignore
+// directive suppresses nothing and is itself reported.
+func TestMalformedSuppression(t *testing.T) {
+	pkgs := loadFixtures(t)
+	var got []Diagnostic
+	for _, d := range Run(pkgs, All()) {
+		if strings.Contains(d.File, "badsuppress") {
+			got = append(got, d)
+		}
+	}
+	if len(got) != 2 {
+		t.Fatalf("badsuppress: got %d findings, want 2 (malformed directive + unsuppressed goroutine):\n%v", len(got), got)
+	}
+	if got[0].Analyzer != "lint" || !strings.Contains(got[0].Message, "malformed") {
+		t.Errorf("first finding should be the malformed directive, got %s", got[0])
+	}
+	if got[1].Analyzer != "nakedgo" {
+		t.Errorf("second finding should be the unsuppressed goroutine, got %s", got[1])
+	}
+}
+
+// TestRealTreeClean is the gate the Makefile lint target codifies: the
+// repo itself must be free of findings. It doubles as a smoke test that
+// the loader handles the full dependency cone (stdlib included) and stays
+// fast enough for CI.
+func TestRealTreeClean(t *testing.T) {
+	start := time.Now()
+	pkgs, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(pkgs, All())
+	for _, d := range diags {
+		t.Errorf("real tree finding: %s", d)
+	}
+	t.Logf("linted %d packages in %v", len(pkgs), time.Since(start))
+}
+
+func TestByName(t *testing.T) {
+	as, err := ByName("nakedgo, zeroalloc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != 2 || as[0].Name != "nakedgo" || as[1].Name != "zeroalloc" {
+		t.Fatalf("ByName returned %v", as)
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Fatal("ByName accepted an unknown analyzer")
+	}
+}

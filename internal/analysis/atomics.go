@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Atomics enforces the typed sync/atomic style and coherent access.
+//
+// Invariant (PRs 1–3): every shared counter in the tree — pool cursors,
+// serving metrics, the batcher's queue state — is a typed atomic value
+// (atomic.Int64 and friends) embedded in its owning struct. The legacy
+// package-level functions (atomic.AddInt64 on a plain field) type-check
+// even when other code touches the same field non-atomically, which is
+// exactly the torn-counter bug the race gate only catches when a test
+// happens to race. Two rules:
+//
+//  1. calls to sync/atomic package-level functions are flagged outright —
+//     declare the field as a typed atomic instead;
+//  2. a plain field that is passed to an atomic function somewhere and
+//     read or written directly somewhere else in the same package is
+//     flagged at every non-atomic site.
+var Atomics = &Analyzer{
+	Name: "atomics",
+	Doc:  "counters must use typed sync/atomic values; no mixed atomic/plain access to one field",
+	Run:  runAtomics,
+}
+
+func runAtomics(p *Pass) {
+	info := p.Pkg.Info
+
+	// Pass 1: flag legacy atomic calls and remember which struct fields
+	// they address, plus the selector nodes used inside those calls so
+	// pass 2 does not double-report them.
+	atomicFields := map[*types.Var]bool{}
+	inAtomicCall := map[*ast.SelectorExpr]bool{}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, isCall := n.(*ast.CallExpr)
+			if !isCall {
+				return true
+			}
+			pkgPath, name, ok := pkgFuncCall(info, call)
+			if !ok || pkgPath != "sync/atomic" {
+				return true
+			}
+			p.Reportf(call.Pos(), "legacy atomic.%s call: declare the field as a typed sync/atomic value (atomic.Int64 etc.)", name)
+			for _, arg := range call.Args {
+				unary, isUnary := arg.(*ast.UnaryExpr)
+				if !isUnary {
+					continue
+				}
+				sel, isSel := unary.X.(*ast.SelectorExpr)
+				if !isSel {
+					continue
+				}
+				if field, _ := fieldSelection(info, sel); field != nil {
+					atomicFields[field] = true
+					inAtomicCall[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+
+	// Pass 2: any other access to a field addressed atomically above is a
+	// coherence violation.
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, isSel := n.(*ast.SelectorExpr)
+			if !isSel || inAtomicCall[sel] {
+				return true
+			}
+			if field, _ := fieldSelection(info, sel); field != nil && atomicFields[field] {
+				p.Reportf(sel.Pos(), "field %s is accessed atomically elsewhere in this package; non-atomic access tears the counter", field.Name())
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,62 @@
+package analysis
+
+import "go/ast"
+
+// BoundedQueue flags bare channel sends in internal/server.
+//
+// Invariant (PR 3): every send on a serving-path channel is either a
+// select-with-default (admission control sheds with 429 when the queue is
+// full) or a select bounded by ctx.Done (admitted work applies
+// backpressure but honors the caller's deadline, the ScoreWait pattern). A
+// bare `ch <- v` can block a request handler forever and turns a full
+// queue into unbounded goroutine pileup instead of explicit load shedding.
+var BoundedQueue = &Analyzer{
+	Name: "boundedqueue",
+	Doc:  "channel sends in internal/server must shed (select+default) or bound the wait (ctx.Done case)",
+	Run:  runBoundedQueue,
+}
+
+func runBoundedQueue(p *Pass) {
+	if !pathWithin(p.Pkg.PkgPath, "internal/server") {
+		return
+	}
+	// escorted holds sends that appear as the comm statement of a select
+	// clause with an escape hatch (default, or any receive case such as
+	// <-ctx.Done()).
+	escorted := map[*ast.SendStmt]bool{}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, isSel := n.(*ast.SelectStmt)
+			if !isSel {
+				return true
+			}
+			hasEscape := false
+			var sends []*ast.SendStmt
+			for _, stmt := range sel.Body.List {
+				clause := stmt.(*ast.CommClause)
+				switch comm := clause.Comm.(type) {
+				case nil: // default:
+					hasEscape = true
+				case *ast.SendStmt:
+					sends = append(sends, comm)
+				default: // receive cases (<-ctx.Done(), result channels)
+					hasEscape = true
+				}
+			}
+			if hasEscape {
+				for _, s := range sends {
+					escorted[s] = true
+				}
+			}
+			return true
+		})
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if s, isSend := n.(*ast.SendStmt); isSend && !escorted[s] {
+				p.Reportf(s.Arrow, "bare channel send on a serving path: shed with select+default or bound the wait with a ctx.Done case")
+			}
+			return true
+		})
+	}
+}

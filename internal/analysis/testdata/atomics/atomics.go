@@ -1,0 +1,26 @@
+// Package atomics exercises the atomics analyzer: legacy package-level
+// atomic calls fire, and a field touched both atomically and plainly is
+// flagged at every plain site. Typed atomics pass.
+package atomics
+
+import "sync/atomic"
+
+type counters struct {
+	hits int64
+	ok   atomic.Int64
+}
+
+func bump(c *counters) {
+	atomic.AddInt64(&c.hits, 1) // want "atomics: legacy atomic.AddInt64"
+}
+
+func read(c *counters) int64 {
+	return c.hits // want "atomics: field hits is accessed atomically elsewhere"
+}
+
+func typed(c *counters) { c.ok.Add(1) }
+
+func snapshot(c *counters) int64 {
+	//lint:ignore atomics fixture: read after all writers joined
+	return c.hits
+}

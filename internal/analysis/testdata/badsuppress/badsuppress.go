@@ -1,0 +1,13 @@
+// Package badsuppress holds a malformed lint:ignore directive (no
+// reason). The directive must not suppress anything and must itself be
+// reported; the test asserts both findings programmatically, since the
+// malformed line cannot carry a want comment.
+package badsuppress
+
+func work() {}
+
+func spawn(done chan struct{}) {
+	//lint:ignore nakedgo
+	go work()
+	<-done
+}

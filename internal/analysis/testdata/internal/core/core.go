@@ -1,0 +1,73 @@
+// Package core exercises the determinism analyzer inside a
+// score-affecting package path: global rand draws, wall-clock reads,
+// map-order float accumulation, and exact float equality fire; threaded
+// RNGs, constant comparisons, comparison helpers, comparator closures,
+// and sorted-key folds do not.
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func jitter() int {
+	return rand.Intn(3) // want "determinism: global rand.Intn"
+}
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want "determinism: time.Now"
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "determinism: time.Since"
+}
+
+func total(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v // want "determinism: float accumulation over randomized map iteration"
+	}
+	return s
+}
+
+func sameScore(a, b float64) bool {
+	return a == b // want "determinism: exact == between computed floats"
+}
+
+// Allowed shapes below: no findings.
+
+func draw(r *rand.Rand) int { return r.Intn(3) } // threaded RNG
+
+func seeded(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) } // constructors
+
+func skipZero(g float64) bool { return g == 0 } // constant comparison idiom
+
+func scoresEqual(a, b float64) bool { return a == b } // comparison helper by name
+
+func totalSorted(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var s float64
+	for _, k := range keys {
+		s += m[k]
+	}
+	return s
+}
+
+func rankDeterministic(vals []float64, idx []int) {
+	sort.Slice(idx, func(i, j int) bool {
+		if vals[idx[i]] != vals[idx[j]] { // comparator tiebreak: exempt
+			return vals[idx[i]] > vals[idx[j]]
+		}
+		return idx[i] < idx[j]
+	})
+}
+
+func suppressedStamp() int64 {
+	//lint:ignore determinism fixture: timing metadata, never feeds a score
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,30 @@
+// Package nn is the fixture stand-in for the real model package: a
+// ConvNet with parameter tensors, the weight-version counter, an aliasing
+// accessor, and an Adam optimizer — the shapes weightsguard keys on.
+// Being inside internal/nn, this package may touch its own parameters.
+package nn
+
+import "fixture.example/internal/tensor"
+
+// ConvNet mirrors the real network's parameter surface.
+type ConvNet struct {
+	Embed *tensor.Mat
+	OutW  tensor.Vec
+
+	version uint64
+}
+
+// MarkWeightsChanged bumps the weight-version counter.
+func (n *ConvNet) MarkWeightsChanged() { n.version++ }
+
+// EmbedMatrix returns the embedding table, aliasing internal storage.
+func (n *ConvNet) EmbedMatrix() *tensor.Mat { return n.Embed }
+
+// Reset zeroes the head in place — legal here, inside the owning package.
+func (n *ConvNet) Reset() { n.OutW.Zero() }
+
+// Adam is the optimizer whose Step mutates parameters.
+type Adam struct{}
+
+// Step applies one optimizer update.
+func (a *Adam) Step(params, grads []tensor.Vec) {}

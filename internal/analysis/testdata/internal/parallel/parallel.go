@@ -1,0 +1,13 @@
+// Package parallel is the fixture stand-in for the real pool layer: it is
+// on the nakedgo allowlist, so the goroutine below produces no finding.
+package parallel
+
+// Do runs fn on its own goroutine and waits for it.
+func Do(fn func()) {
+	done := make(chan struct{})
+	go func() {
+		fn()
+		close(done)
+	}()
+	<-done
+}

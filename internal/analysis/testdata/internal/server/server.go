@@ -1,0 +1,42 @@
+// Package server exercises the boundedqueue analyzer: bare sends fire,
+// select-with-default (shed) and ctx.Done-bounded sends do not. As a
+// serving package it is also on the nakedgo allowlist.
+package server
+
+import "context"
+
+func bare(ch chan int) {
+	ch <- 1 // want "boundedqueue: bare channel send"
+}
+
+func twoSendsNoEscape(a, b chan int) {
+	select {
+	case a <- 1: // want "boundedqueue: bare channel send"
+	case b <- 2: // want "boundedqueue: bare channel send"
+	}
+}
+
+func shed(ch chan int) bool {
+	select {
+	case ch <- 1:
+		return true
+	default:
+		return false
+	}
+}
+
+func bounded(ctx context.Context, ch chan int) error {
+	select {
+	case ch <- 1:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func dispatcher(ch chan int) {
+	go func() { // no finding: internal/server owns its dispatcher goroutines
+		//lint:ignore boundedqueue fixture: buffered reply channel, single write
+		ch <- 2
+	}()
+}

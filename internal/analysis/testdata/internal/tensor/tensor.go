@@ -1,0 +1,26 @@
+// Package tensor is the fixture stand-in for the real tensor kernels:
+// just enough surface for the weightsguard fixtures to type-check.
+package tensor
+
+// Vec is a dense vector.
+type Vec []float64
+
+// Zero sets every element to 0.
+func (v Vec) Zero() {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// Mat is a row-major dense matrix.
+type Mat struct {
+	Rows, Cols int
+	Data       Vec
+}
+
+// Fill sets every element to x.
+func (m *Mat) Fill(x float64) {
+	for i := range m.Data {
+		m.Data[i] = x
+	}
+}

@@ -1,0 +1,21 @@
+// Package nakedgo exercises the nakedgo analyzer: goroutines outside the
+// pool layer fire, suppressed ones do not.
+package nakedgo
+
+func work() {}
+
+func spawn(done chan struct{}) {
+	go work() // want "nakedgo: naked goroutine"
+	<-done
+}
+
+func lifecycle(done chan struct{}) {
+	//lint:ignore nakedgo fixture lifecycle goroutine, reason provided
+	go work()
+	<-done
+}
+
+func inlineSuppressed(done chan struct{}) {
+	go work() //lint:ignore nakedgo trailing-comment suppression form
+	<-done
+}

@@ -1,0 +1,45 @@
+// Package weightsguard exercises the weightsguard analyzer from outside
+// the model packages: direct parameter writes, writes through aliasing
+// accessors, in-place mutating calls, and unpaired optimizer steps fire;
+// paired steps and suppressed surgery do not.
+package weightsguard
+
+import "fixture.example/internal/nn"
+
+func pokeHead(n *nn.ConvNet) {
+	n.OutW[0] = 1 // want "weightsguard: write to model parameter ConvNet.OutW"
+}
+
+func pokeEmbedStorage(n *nn.ConvNet) {
+	n.Embed.Data[3] = 0.5 // want "weightsguard: write to model parameter ConvNet.Embed"
+}
+
+func pokeViaAccessor(n *nn.ConvNet) {
+	n.EmbedMatrix().Data[0] = 2 // want "weightsguard: write to model parameter EmbedMatrix"
+}
+
+func zeroHeadInPlace(n *nn.ConvNet) {
+	n.OutW.Zero() // want "weightsguard: Zero mutates model parameter ConvNet.OutW"
+}
+
+func fillEmbed(n *nn.ConvNet) {
+	n.Embed.Fill(0.1) // want "weightsguard: Fill mutates model parameter ConvNet.Embed"
+}
+
+func unpairedStep(a *nn.Adam) {
+	a.Step(nil, nil) // want "weightsguard: Adam.Step mutates weights"
+}
+
+func pairedStep(n *nn.ConvNet, a *nn.Adam) {
+	a.Step(nil, nil)
+	n.MarkWeightsChanged()
+}
+
+func readOnly(n *nn.ConvNet) float64 {
+	return n.OutW[0] + n.EmbedMatrix().Data[0] // reads are fine
+}
+
+func surgery(n *nn.ConvNet) {
+	//lint:ignore weightsguard calibration surgery; caller bumps the weight version
+	n.OutW[0] = 0
+}

@@ -1,0 +1,81 @@
+// Package zeroalloc exercises the //mpass:zeroalloc pragma analyzer:
+// annotated functions may not allocate (make/new/append, closures,
+// &literals, string building, interface boxing); panic-only guard
+// branches and unannotated functions are free to.
+package zeroalloc
+
+import "fmt"
+
+func sink(v any) { _ = v }
+
+type point struct{ x, y int }
+
+// hotCopy is the clean steady-state shape: no findings.
+//
+//mpass:zeroalloc
+func hotCopy(dst, src []float64) {
+	for i := range src {
+		dst[i] = src[i]
+	}
+}
+
+// guarded allocates only inside its panic guard, which is exempt.
+//
+//mpass:zeroalloc
+func guarded(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("zeroalloc: negative %d", n))
+	}
+	return n * 2
+}
+
+//mpass:zeroalloc
+func slab(n int) []int {
+	buf := make([]int, 0, n) // want "zeroalloc: make allocates"
+	buf = append(buf, 1)     // want "zeroalloc: append may grow"
+	return buf
+}
+
+//mpass:zeroalloc
+func fresh() *point {
+	return new(point) // want "zeroalloc: new allocates"
+}
+
+//mpass:zeroalloc
+func box(n int) {
+	sink(n) // want "zeroalloc: argument boxes into interface"
+}
+
+//mpass:zeroalloc
+func closes(n int) func() int {
+	return func() int { return n } // want "zeroalloc: closure literal"
+}
+
+//mpass:zeroalloc
+func addressed() *point {
+	return &point{1, 2} // want "zeroalloc: &composite literal allocates"
+}
+
+//mpass:zeroalloc
+func sliceLit() []int {
+	return []int{1, 2, 3} // want "zeroalloc: slice/map literal allocates"
+}
+
+//mpass:zeroalloc
+func strcat(a, b string) string {
+	return a + b // want "zeroalloc: string concatenation allocates"
+}
+
+//mpass:zeroalloc
+func bytesToString(b []byte) string {
+	return string(b) // want "zeroalloc: string <-> byte/rune slice conversion copies"
+}
+
+//mpass:zeroalloc
+func coldPath(n int) []byte {
+	//lint:ignore zeroalloc fixture: pool-miss path, populates the recycle pool
+	return make([]byte, n)
+}
+
+// coldSetup is unannotated: allocation is fine here.
+func coldSetup(n int) []int { return make([]int, n) }

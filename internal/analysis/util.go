@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// pathWithin reports whether pkgPath is the package identified by suffix —
+// an exact match or a path ending in "/<suffix>". Matching by suffix keeps
+// the analyzers module-agnostic, so the same rules apply to the real tree
+// ("mpass/internal/nn") and the test fixtures
+// ("fixture.example/internal/nn").
+func pathWithin(pkgPath, suffix string) bool {
+	return pkgPath == suffix || strings.HasSuffix(pkgPath, "/"+suffix)
+}
+
+// pathWithinAny reports whether pkgPath matches any of the suffixes.
+func pathWithinAny(pkgPath string, suffixes []string) bool {
+	for _, s := range suffixes {
+		if pathWithin(pkgPath, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// pkgFuncCall resolves call to a package-level function reference,
+// returning the defining package's import path and the function name.
+// ok is false for method calls, builtins, conversions, and locals.
+func pkgFuncCall(info *types.Info, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	ident, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	pn, isPkg := info.Uses[ident].(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// namedType unwraps pointers and aliases and returns the named type of t,
+// or nil when t is unnamed.
+func namedType(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	t = types.Unalias(t)
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = types.Unalias(ptr.Elem())
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// isNamed reports whether t (through pointers) is the named type
+// <pkgSuffix>.<name>.
+func isNamed(t types.Type, pkgSuffix, name string) bool {
+	named := namedType(t)
+	if named == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == name && pathWithin(named.Obj().Pkg().Path(), pkgSuffix)
+}
+
+// fieldSelection returns the selected field when sel is a field access,
+// and the receiver type it was selected from.
+func fieldSelection(info *types.Info, sel *ast.SelectorExpr) (*types.Var, types.Type) {
+	s := info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return nil, nil
+	}
+	field, isVar := s.Obj().(*types.Var)
+	if !isVar {
+		return nil, nil
+	}
+	return field, s.Recv()
+}
+
+// methodSelection returns the selected method when sel is a method value,
+// and the receiver type.
+func methodSelection(info *types.Info, sel *ast.SelectorExpr) (*types.Func, types.Type) {
+	s := info.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return nil, nil
+	}
+	fn, isFunc := s.Obj().(*types.Func)
+	if !isFunc {
+		return nil, nil
+	}
+	return fn, s.Recv()
+}
+
+// forEachFunc invokes fn once per function declaration in the package,
+// handing over the declaration so analyzers can scope rules to the
+// enclosing function (name-based exemptions, same-function pairing).
+func forEachFunc(pkg *Package, fn func(*ast.FuncDecl)) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, isFunc := decl.(*ast.FuncDecl); isFunc && fd.Body != nil {
+				fn(fd)
+			}
+		}
+	}
+}
+
+// isFloat reports whether t's underlying type is a floating-point basic
+// type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	basic, isBasic := t.Underlying().(*types.Basic)
+	return isBasic && basic.Info()&types.IsFloat != 0
+}

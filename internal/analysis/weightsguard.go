@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Model-parameter storage, as seen from outside the owning packages.
+var (
+	// convNetParams are nn.ConvNet's trainable tensors. Writing one from
+	// outside internal/nn bypasses the weight-version counter that keeps
+	// the lookup-table fast path coherent with the weights.
+	convNetParams = map[string]bool{
+		"Embed": true, "ConvW": true, "GateW": true,
+		"ConvB": true, "GateB": true,
+		"HidW": true, "HidB": true,
+		"OutW": true, "OutB": true,
+	}
+	// ensembleParams are gbdt.Ensemble's learned state.
+	ensembleParams = map[string]bool{"Bias": true, "LR": true, "Trees": true}
+	// aliasingAccessors return parameter storage by reference (documented
+	// read-only); a write or mutating call routed through one is a
+	// parameter write. Matched by name so interface-mediated access
+	// (detect.WhiteboxModel) is caught too.
+	aliasingAccessors = map[string]bool{"EmbedMatrix": true, "EmbedRow": true}
+	// mutatingTensorMethods write their receiver in place.
+	mutatingTensorMethods = map[string]bool{
+		"Zero": true, "Fill": true, "Scale": true, "Set": true,
+		"XavierInit": true, "HeInit": true,
+	}
+)
+
+// paramOwners may touch parameter tensors freely: the packages that define
+// the models and their training loops, which are responsible for calling
+// MarkWeightsChanged at the right points.
+var paramOwners = []string{"internal/nn", "internal/gbdt"}
+
+// WeightsGuard flags parameter-tensor writes outside the model packages,
+// and optimizer steps that are not paired with MarkWeightsChanged.
+//
+// Invariant (PR 2): the ConvNet inference engine serves scores from
+// per-byte response tables keyed by a weight-version counter. Any weight
+// mutation that does not bump the counter (TrainBatch does it internally;
+// direct surgery must call MarkWeightsChanged) leaves the tables stale and
+// silently breaks the table/direct bit-identity guarantee. gbdt state is
+// guarded the same way for symmetry: the serving layer assumes frozen
+// models.
+var WeightsGuard = &Analyzer{
+	Name: "weightsguard",
+	Doc:  "no parameter-tensor writes outside internal/nn+internal/gbdt; Adam.Step must pair with MarkWeightsChanged",
+	Run:  runWeightsGuard,
+}
+
+func runWeightsGuard(p *Pass) {
+	if pathWithinAny(p.Pkg.PkgPath, paramOwners) {
+		return
+	}
+	info := p.Pkg.Info
+
+	forEachFunc(p.Pkg, func(fd *ast.FuncDecl) {
+		marks := callsMarkWeightsChanged(fd)
+		ast.Inspect(fd, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if name, ok := paramChainRoot(info, lhs); ok {
+						p.Reportf(lhs.Pos(), "write to model parameter %s outside its owning package: the lookup-table weight version cannot track this mutation", name)
+					}
+				}
+			case *ast.IncDecStmt:
+				if name, ok := paramChainRoot(info, n.X); ok {
+					p.Reportf(n.X.Pos(), "write to model parameter %s outside its owning package: the lookup-table weight version cannot track this mutation", name)
+				}
+			case *ast.CallExpr:
+				sel, isSel := n.Fun.(*ast.SelectorExpr)
+				if !isSel {
+					return true
+				}
+				if mutatingTensorMethods[sel.Sel.Name] {
+					if name, ok := paramChainRoot(info, sel.X); ok {
+						p.Reportf(n.Pos(), "%s mutates model parameter %s in place outside its owning package", sel.Sel.Name, name)
+					}
+				}
+				if fn, recv := methodSelection(info, sel); fn != nil && fn.Name() == "Step" && isNamed(recv, "internal/nn", "Adam") && !marks {
+					p.Reportf(n.Pos(), "Adam.Step mutates weights: call MarkWeightsChanged in the same function to invalidate the inference tables")
+				}
+			}
+			return true
+		})
+	})
+}
+
+// callsMarkWeightsChanged reports whether fd contains a MarkWeightsChanged
+// call — the pairing that keeps a manual optimizer step coherent with the
+// fast path.
+func callsMarkWeightsChanged(fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd, func(n ast.Node) bool {
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall {
+			return true
+		}
+		if sel, isSel := call.Fun.(*ast.SelectorExpr); isSel && sel.Sel.Name == "MarkWeightsChanged" {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// paramChainRoot walks an lvalue (or mutating-method receiver) chain —
+// selectors, indexing, slicing, derefs, and aliasing-accessor calls —
+// and reports the parameter tensor it is rooted in, if any. Examples that
+// root in a parameter: n.OutW[i], n.Embed.Data[k],
+// m.EmbedMatrix().Data[k], d.EmbedRow(b)[j].
+func paramChainRoot(info *types.Info, e ast.Expr) (string, bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if field, recv := fieldSelection(info, x); field != nil {
+				switch {
+				case convNetParams[field.Name()] && isNamed(recv, "internal/nn", "ConvNet"):
+					return "ConvNet." + field.Name(), true
+				case ensembleParams[field.Name()] && isNamed(recv, "internal/gbdt", "Ensemble"):
+					return "Ensemble." + field.Name(), true
+				}
+			}
+			e = x.X
+		case *ast.CallExpr:
+			sel, isSel := x.Fun.(*ast.SelectorExpr)
+			if isSel && aliasingAccessors[sel.Sel.Name] {
+				return sel.Sel.Name + "()", true
+			}
+			return "", false
+		default:
+			return "", false
+		}
+	}
+}

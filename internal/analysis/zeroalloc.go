@@ -1,0 +1,208 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// zeroallocPragma marks a function whose body must not allocate. The
+// runtime complement is the `make alloc` gate (testing.AllocsPerRun over
+// the same paths); the analyzer rejects the allocation at the line that
+// introduces it instead of as an aggregate count after the fact.
+const zeroallocPragma = "mpass:zeroalloc"
+
+// ZeroAlloc checks functions annotated //mpass:zeroalloc for
+// allocation-introducing constructs:
+//
+//   - make / new / append (growth);
+//   - closure literals and go statements;
+//   - &composite literals, and slice or map literals;
+//   - string concatenation and string<->[]byte/[]rune conversions;
+//   - implicit interface boxing: a concrete value passed to an interface
+//     parameter or converted to an interface type.
+//
+// The check is intra-procedural: callees are not followed (annotate them
+// too), and branches that terminate in panic are skipped — error paths
+// are allowed to allocate their message.
+var ZeroAlloc = &Analyzer{
+	Name: "zeroalloc",
+	Doc:  "//mpass:zeroalloc functions must not allocate (static complement of the runtime alloc gate)",
+	Run:  runZeroAlloc,
+}
+
+func runZeroAlloc(p *Pass) {
+	forEachFunc(p.Pkg, func(fd *ast.FuncDecl) {
+		if !hasPragma(fd.Doc) {
+			return
+		}
+		w := &zeroallocWalker{p: p, info: p.Pkg.Info}
+		w.skip = panicOnlyBlocks(p.Pkg.Info, fd.Body)
+		w.walk(fd.Body)
+	})
+}
+
+// hasPragma reports whether the doc comment carries the zeroalloc pragma
+// as its own line.
+func hasPragma(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(strings.TrimPrefix(c.Text, "//")) == zeroallocPragma {
+			return true
+		}
+	}
+	return false
+}
+
+// panicOnlyBlocks collects if-bodies whose last statement panics: bounds
+// and shape guards whose allocation (typically fmt.Sprintf into panic)
+// never runs in steady state.
+func panicOnlyBlocks(info *types.Info, body *ast.BlockStmt) map[ast.Node]bool {
+	skip := map[ast.Node]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifStmt, isIf := n.(*ast.IfStmt)
+		if !isIf || len(ifStmt.Body.List) == 0 {
+			return true
+		}
+		last, isExpr := ifStmt.Body.List[len(ifStmt.Body.List)-1].(*ast.ExprStmt)
+		if !isExpr {
+			return true
+		}
+		call, isCall := last.X.(*ast.CallExpr)
+		if !isCall {
+			return true
+		}
+		if ident, isIdent := call.Fun.(*ast.Ident); isIdent {
+			if b, isBuiltin := info.Uses[ident].(*types.Builtin); isBuiltin && b.Name() == "panic" {
+				skip[ifStmt.Body] = true
+			}
+		}
+		return true
+	})
+	return skip
+}
+
+type zeroallocWalker struct {
+	p    *Pass
+	info *types.Info
+	skip map[ast.Node]bool // panic-terminated blocks
+	lits map[ast.Node]bool // composite literals already reported under a &
+}
+
+func (w *zeroallocWalker) walk(root ast.Node) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if w.skip[n] {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			w.checkCall(n)
+		case *ast.FuncLit:
+			w.p.Reportf(n.Pos(), "closure literal in a zeroalloc function may escape to the heap")
+			return false // the closure body is not this function's steady state
+		case *ast.GoStmt:
+			w.p.Reportf(n.Pos(), "go statement allocates a goroutine in a zeroalloc function")
+		case *ast.UnaryExpr:
+			if lit, isLit := n.X.(*ast.CompositeLit); n.Op == token.AND && isLit {
+				if w.lits == nil {
+					w.lits = map[ast.Node]bool{}
+				}
+				w.lits[lit] = true
+				w.p.Reportf(n.Pos(), "&composite literal allocates")
+			}
+		case *ast.CompositeLit:
+			if w.lits[n] {
+				return true
+			}
+			switch w.typeOf(n).Underlying().(type) {
+			case *types.Slice, *types.Map:
+				w.p.Reportf(n.Pos(), "slice/map literal allocates")
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(w.typeOf(n)) {
+				w.p.Reportf(n.OpPos, "string concatenation allocates")
+			}
+		}
+		return true
+	})
+}
+
+func (w *zeroallocWalker) typeOf(e ast.Expr) types.Type {
+	if t := w.info.TypeOf(e); t != nil {
+		return t
+	}
+	return types.Typ[types.Invalid]
+}
+
+func (w *zeroallocWalker) checkCall(call *ast.CallExpr) {
+	// Builtins: make, new, and append are the direct allocators.
+	if ident, isIdent := call.Fun.(*ast.Ident); isIdent {
+		if b, isBuiltin := w.info.Uses[ident].(*types.Builtin); isBuiltin {
+			switch b.Name() {
+			case "make", "new":
+				w.p.Reportf(call.Pos(), "%s allocates in a zeroalloc function", b.Name())
+			case "append":
+				w.p.Reportf(call.Pos(), "append may grow its backing array in a zeroalloc function")
+			}
+			return
+		}
+	}
+
+	// Conversions: T(x) to an interface boxes; string<->byte/rune slice
+	// conversions copy.
+	if tv, isConv := w.info.Types[call.Fun]; isConv && tv.IsType() && len(call.Args) == 1 {
+		dst, src := w.typeOf(call), w.typeOf(call.Args[0])
+		switch {
+		case types.IsInterface(dst) && !types.IsInterface(src):
+			w.p.Reportf(call.Pos(), "conversion to interface boxes the value on the heap")
+		case isString(dst) != isString(src) && (isByteOrRuneSlice(dst) || isByteOrRuneSlice(src)):
+			w.p.Reportf(call.Pos(), "string <-> byte/rune slice conversion copies")
+		}
+		return
+	}
+
+	// Ordinary calls: a concrete argument passed to an interface
+	// parameter is an implicit box (fmt-style variadics included).
+	sig, isSig := w.typeOf(call.Fun).Underlying().(*types.Signature)
+	if !isSig {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var paramType types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing
+			}
+			paramType = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			paramType = params.At(i).Type()
+		default:
+			continue
+		}
+		argType := w.typeOf(arg)
+		if types.IsInterface(paramType) && !types.IsInterface(argType) &&
+			argType.Underlying() != types.Typ[types.UntypedNil] {
+			w.p.Reportf(arg.Pos(), "argument boxes into interface parameter and may allocate")
+		}
+	}
+}
+
+func isString(t types.Type) bool {
+	basic, isBasic := t.Underlying().(*types.Basic)
+	return isBasic && basic.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	slice, isSlice := t.Underlying().(*types.Slice)
+	if !isSlice {
+		return false
+	}
+	basic, isBasic := slice.Elem().Underlying().(*types.Basic)
+	return isBasic && (basic.Kind() == types.Byte || basic.Kind() == types.Rune ||
+		basic.Kind() == types.Uint8 || basic.Kind() == types.Int32)
+}

@@ -39,6 +39,10 @@ func ROC(d Detector, samples []*corpus.Sample) []ROCPoint {
 	tp, fp := 0, 0
 	for i := 0; i < len(xs); {
 		thr := xs[i].s
+		// lint:ignore below: the ROC sweep must group *bit-identical* scores
+		// into one threshold step; a tolerance here would merge distinct
+		// operating points.
+		//lint:ignore determinism exact grouping of identical scores is intended
 		for i < len(xs) && xs[i].s == thr {
 			if xs[i].y {
 				tp++

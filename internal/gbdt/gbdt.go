@@ -212,6 +212,9 @@ func bestSplit(xs [][]float64, grad, hess []float64, idx []int, cfg Config) (fea
 		for k := 0; k < len(col)-1; k++ {
 			gl += col[k].g
 			hl += col[k].h
+			// A split between bit-equal feature values is unrealizable, so
+			// the exact comparison is the correct duplicate test.
+			//lint:ignore determinism exact duplicate detection between sorted neighbors
 			if col[k].v == col[k+1].v {
 				continue
 			}

@@ -270,6 +270,8 @@ func (n *ConvNet) head(c *cache) {
 
 // Predict returns the malware probability for raw bytes, through the
 // lookup-table fast path. Steady state allocates nothing.
+//
+//mpass:zeroalloc
 func (n *ConvNet) Predict(raw []byte) float64 {
 	sc := n.getScratch()
 	score := n.forwardTable(raw, n.tables(), sc).score
@@ -447,6 +449,8 @@ func (ig *InputGrad) Release() {
 // The forward pass rides the lookup-table fast path, and the returned
 // InputGrad comes from a recycle pool (see Release); a loop that releases
 // each result allocates nothing in steady state.
+//
+//mpass:zeroalloc
 func (n *ConvNet) InputGradient(raw []byte, target float64) *InputGrad {
 	sc := n.getScratch()
 	c := n.forwardTable(raw, n.tables(), sc)

@@ -102,6 +102,8 @@ func (n *ConvNet) buildTables() *respTable {
 // forwardTable is the frozen-weight forward pass over precomputed response
 // tables. It fills the same backward-ready cache as the direct path and is
 // bit-identical to it.
+//
+//mpass:zeroalloc
 func (n *ConvNet) forwardTable(raw []byte, tab *respTable, sc *scratch) *cache {
 	cfg := n.Cfg
 	c := &sc.c

@@ -219,6 +219,10 @@ func (b *Batcher) flush(batch []*scanReq) {
 		}
 	}
 	for i, r := range batch {
+		// Each request's out channel is buffered (cap 1) and written exactly
+		// once, so this delivery can never block the dispatcher — even when
+		// the requester already gave up on its context.
+		//lint:ignore boundedqueue buffered cap-1 result channel, single write
 		r.out <- outs[i]
 	}
 }

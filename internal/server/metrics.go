@@ -32,6 +32,8 @@ type Metrics struct {
 }
 
 // observeBatch records one dispatcher flush of n requests.
+//
+//mpass:zeroalloc
 func (m *Metrics) observeBatch(n int) {
 	m.Batches.Add(1)
 	m.BatchedRaws.Add(int64(n))
@@ -71,7 +73,10 @@ type Histogram struct {
 	sum    atomic.Int64 // nanoseconds
 }
 
-// Observe records one duration.
+// Observe records one duration. It sits on every scan response, so it must
+// stay allocation free.
+//
+//mpass:zeroalloc
 func (h *Histogram) Observe(d time.Duration) {
 	i := 0
 	for i < len(histBounds) && d > histBounds[i] {

@@ -345,9 +345,16 @@ func Efficiency(raw []byte, secNames []string, score func([]byte) float64) (floa
 			}
 		}
 	}
+	// Fold in sorted-key order: map iteration order is randomized per run,
+	// and float addition is order-sensitive at the bit level.
+	keys := make([]string, 0, len(phi))
+	for name := range phi {
+		keys = append(keys, name)
+	}
+	sort.Strings(keys)
 	var sum float64
-	for _, v := range phi {
-		sum += v
+	for _, name := range keys {
+		sum += phi[name]
 	}
 	return math.Abs(sum - (score(f.Bytes()) - score(empty.Bytes()))), nil
 }

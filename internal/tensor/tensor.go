@@ -129,6 +129,8 @@ func (m *Mat) MatVec(v Vec) Vec {
 // MatVecInto computes m·v into out (length Rows), allocating nothing. Each
 // out[i] is the same Dot the allocating MatVec produces, so results are
 // bit-identical between the two.
+//
+//mpass:zeroalloc
 func (m *Mat) MatVecInto(v, out Vec) {
 	if len(v) != m.Cols || len(out) != m.Rows {
 		panic(fmt.Sprintf("tensor: MatVecInto %dx%d by %d into %d", m.Rows, m.Cols, len(v), len(out)))
