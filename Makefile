@@ -16,7 +16,7 @@ BENCH_JSON ?= BENCH_2.json
 SERVE_BENCH_JSON ?= BENCH_3.json
 
 .PHONY: all build vet lint test race race-all bench bench-full bench-json \
-        alloc serve-smoke ci
+        alloc serve-smoke serve-faults ci
 
 all: build
 
@@ -66,9 +66,16 @@ bench-json:
 serve-smoke:
 	sh scripts/serve_bench.sh smoke
 
+# serve-faults is the resilience drill: mpassd runs with deterministic
+# oracle fault injection (hangs, transient errors, latency) and mpass-load
+# -faults verifies every attack job still reaches a terminal state, then the
+# SIGTERM drain must complete within its deadline.
+serve-faults:
+	sh scripts/serve_bench.sh faults
+
 # alloc is the allocation-regression gate: the scoring and gradient hot
 # paths must stay zero-allocation in steady state.
 alloc:
 	$(GO) test -run 'ZeroAlloc' -count=1 ./internal/nn
 
-ci: build vet lint test race alloc bench serve-smoke
+ci: build vet lint test race alloc bench serve-smoke serve-faults

@@ -10,7 +10,11 @@
 // The tool doubles as the CI smoke driver (`make serve-smoke`): it refuses
 // to start until /healthz answers ok, fails if any scan errors (429 sheds
 // are counted separately — shedding is policy, not failure), and
-// cross-checks /metrics against its own request count.
+// cross-checks /metrics against its own request count. With -faults it
+// drives a fault-injecting server (`mpassd -fault-*`) instead: failed
+// attack jobs are expected and reported alongside the retry/breaker/
+// cancellation counters, but a job stuck outside a terminal state is still
+// fatal — the lifecycle hardening must bound every job, faults or not.
 package main
 
 import (
@@ -39,6 +43,7 @@ func main() {
 	requests := flag.Int("requests", 400, "total scan requests")
 	samples := flag.Int("samples", 32, "distinct samples in the request pool (repeats exercise the cache)")
 	attacks := flag.Int("attacks", 0, "attack jobs to submit and poll to completion")
+	faults := flag.Bool("faults", false, "fault-drill mode: the server runs with -fault-* injection, so failed attack jobs are expected; report the fault counters instead of treating failures as fatal")
 	seed := flag.Int64("seed", 1, "sample-pool generation seed")
 	wait := flag.Duration("wait", 15*time.Second, "how long to wait for /healthz before giving up")
 	flag.Parse()
@@ -93,11 +98,14 @@ func main() {
 		log.Fatalf("%d scans failed outright", failed.Load())
 	}
 
-	attacksDone := 0
+	attacksDone, attacksFailed := 0, 0
 	if *attacks > 0 {
 		var err error
-		if attacksDone, err = runAttacks(base, pool, *attacks); err != nil {
+		if attacksDone, attacksFailed, err = runAttacks(base, pool, *attacks); err != nil {
 			log.Fatal(err)
+		}
+		if attacksFailed > 0 && !*faults {
+			log.Fatalf("%d attack jobs failed (run with -faults if the server injects faults)", attacksFailed)
 		}
 	}
 
@@ -127,6 +135,23 @@ func main() {
 	fmt.Printf("BenchmarkServeScan %d %.0f ns/op %.1f req/s %d p50-ns %d p99-ns %.0f shed %.0f cache-hits %.2f mean-batch\n",
 		*requests, nsPerOp, rps, p50.Nanoseconds(), p99.Nanoseconds(),
 		float64(shed.Load()), float64(snap.CacheHits), snap.MeanBatch)
+
+	if *faults {
+		terminal := attacksDone + attacksFailed
+		fmt.Fprintf(os.Stderr,
+			"faults: %d attack jobs terminal (%d done, %d failed) · %d oracle queries, %d retries, %d breaker opens · %d jobs cancelled · registry %d",
+			terminal, attacksDone, attacksFailed,
+			snap.OracleQueries, snap.OracleRetries, snap.OracleBreaks,
+			snap.JobsCancelled, snap.JobsRegistry)
+		if snap.JobsRegistryCap > 0 {
+			fmt.Fprintf(os.Stderr, "/%d", snap.JobsRegistryCap)
+		}
+		fmt.Fprintln(os.Stderr)
+		fmt.Printf("BenchmarkServeFaults %d %.0f ns/op %.0f done %.0f failed %.0f oracle-retries %.0f oracle-breaks %.0f jobs-cancelled\n",
+			terminal, nsPerOp,
+			float64(attacksDone), float64(attacksFailed),
+			float64(snap.OracleRetries), float64(snap.OracleBreaks), float64(snap.JobsCancelled))
+	}
 }
 
 // waitHealthy polls /healthz until it answers 200 or the deadline passes.
@@ -161,8 +186,11 @@ func postScan(base string, raw []byte) (int, error) {
 }
 
 // runAttacks submits n attack jobs on pool samples and polls each to a
-// terminal state, returning how many reached one.
-func runAttacks(base string, pool [][]byte, n int) (int, error) {
+// terminal state, returning how many ended done vs failed. A job that
+// never reaches a terminal state is an error — the lifecycle hardening
+// (deadlines, shutdown cancellation) exists precisely so that cannot
+// happen, faults or not.
+func runAttacks(base string, pool [][]byte, n int) (done, failed int, err error) {
 	type accepted struct {
 		Poll string `json:"poll"`
 	}
@@ -171,7 +199,7 @@ func runAttacks(base string, pool [][]byte, n int) (int, error) {
 		resp, err := http.Post(base+"/v1/attack", "application/octet-stream",
 			bytes.NewReader(pool[i%len(pool)]))
 		if err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 		body, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
@@ -179,21 +207,20 @@ func runAttacks(base string, pool [][]byte, n int) (int, error) {
 			continue // shed by admission control; not a failure
 		}
 		if resp.StatusCode != http.StatusAccepted {
-			return 0, fmt.Errorf("attack %d: status %d: %s", i, resp.StatusCode, body)
+			return 0, 0, fmt.Errorf("attack %d: status %d: %s", i, resp.StatusCode, body)
 		}
 		var a accepted
 		if err := json.Unmarshal(body, &a); err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 		polls = append(polls, a.Poll)
 	}
-	done := 0
 	deadline := time.Now().Add(2 * time.Minute)
 	for _, p := range polls {
 		for {
 			resp, err := http.Get(base + p)
 			if err != nil {
-				return done, err
+				return done, failed, err
 			}
 			var v struct {
 				State string `json:"state"`
@@ -201,19 +228,23 @@ func runAttacks(base string, pool [][]byte, n int) (int, error) {
 			err = json.NewDecoder(resp.Body).Decode(&v)
 			resp.Body.Close()
 			if err != nil {
-				return done, err
+				return done, failed, err
 			}
-			if v.State == "done" || v.State == "failed" {
+			if v.State == "done" {
 				done++
 				break
 			}
+			if v.State == "failed" {
+				failed++
+				break
+			}
 			if time.Now().After(deadline) {
-				return done, fmt.Errorf("job %s stuck in state %q", p, v.State)
+				return done, failed, fmt.Errorf("job %s stuck in state %q", p, v.State)
 			}
 			time.Sleep(50 * time.Millisecond)
 		}
 	}
-	return done, nil
+	return done, failed, nil
 }
 
 // metricsDoc is the subset of the /metrics document the tool reports.
@@ -224,6 +255,15 @@ type metricsDoc struct {
 	MaxBatchSize int64   `json:"max_batch_size"`
 	Coalesced    int64   `json:"coalesced_batches"`
 	CacheHits    int64   `json:"cache_hits"`
+
+	// Lifecycle/fault counters, reported in -faults mode.
+	OracleQueries   int64 `json:"oracle_queries"`
+	OracleRetries   int64 `json:"oracle_retries"`
+	OracleBreaks    int64 `json:"oracle_breaks"`
+	JobsEvicted     int64 `json:"jobs_evicted"`
+	JobsCancelled   int64 `json:"jobs_cancelled"`
+	JobsRegistry    int   `json:"jobs_registry"`
+	JobsRegistryCap int   `json:"jobs_registry_cap"`
 }
 
 func fetchMetrics(base string) (*metricsDoc, error) {

@@ -12,6 +12,10 @@
 //
 // SIGINT/SIGTERM drain gracefully: new requests are rejected, in-flight
 // scans and attack jobs finish (bounded by -drain), then the process exits.
+// Attack jobs are individually bounded by -job-deadline, finished results
+// are retained for -job-ttl inside a -max-jobs-capped registry, and the
+// -fault-* flags wrap each job's oracle in deterministic fault injection
+// (internal/faultinject) for resilience drills.
 package main
 
 import (
@@ -24,11 +28,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"mpass/internal/core"
 	"mpass/internal/corpus"
 	"mpass/internal/detect"
+	"mpass/internal/faultinject"
 	"mpass/internal/server"
 )
 
@@ -54,6 +61,16 @@ func main() {
 	attackQueue := flag.Int("attack-queue", 64, "attack admission queue; full sheds with 429")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-request deadline")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
+
+	jobDeadline := flag.Duration("job-deadline", 2*time.Minute, "per-attack-job runtime cap (negative disables)")
+	jobTTL := flag.Duration("job-ttl", 10*time.Minute, "finished-job result retention (negative disables)")
+	maxJobs := flag.Int("max-jobs", 4096, "job-registry cap, live + retained (negative = unbounded)")
+
+	faultHang := flag.Float64("fault-hang", 0, "inject: probability an oracle query hangs until cancelled")
+	faultError := flag.Float64("fault-error", 0, "inject: probability an oracle query fails transiently")
+	faultLatency := flag.Float64("fault-latency", 0, "inject: probability an oracle query is delayed")
+	faultDelay := flag.Duration("fault-delay", 50*time.Millisecond, "inject: delay magnitude for -fault-latency")
+	faultSeed := flag.Int64("fault-seed", 1, "inject: fault-decision stream seed")
 	flag.Parse()
 	if *workers < 0 {
 		log.Fatalf("workers must be >= 0 (0 = GOMAXPROCS), got %d", *workers)
@@ -73,7 +90,7 @@ func main() {
 		pool[i] = g.Sample(corpus.Benign).Raw
 	}
 
-	srv, err := server.New(server.Config{
+	cfg := server.Config{
 		Detectors:      suite.OfflineTargets(),
 		Attack:         server.MPassAttack(suite, pool, *maxQueries),
 		MaxBatch:       *maxBatch,
@@ -83,8 +100,32 @@ func main() {
 		AttackWorkers:  *attackWorkers,
 		AttackQueue:    *attackQueue,
 		RequestTimeout: *timeout,
+		JobDeadline:    *jobDeadline,
+		JobTTL:         *jobTTL,
+		MaxJobs:        *maxJobs,
 		Seed:           *seed,
-	})
+	}
+	if *faultHang > 0 || *faultError > 0 || *faultLatency > 0 {
+		fcfg := faultinject.Config{
+			Seed:        *faultSeed,
+			HangRate:    *faultHang,
+			ErrorRate:   *faultError,
+			LatencyRate: *faultLatency,
+			Latency:     *faultDelay,
+		}
+		// OracleWrap runs once per attack job; offset the seed per job so
+		// short-query jobs don't all replay the same stream prefix (which
+		// would make injection nearly inert at low rates).
+		var faultSeq atomic.Int64
+		cfg.OracleWrap = func(inner core.Oracle) core.Oracle {
+			fc := fcfg
+			fc.Seed += faultSeq.Add(1) * 104729
+			return faultinject.Wrap(inner, fc)
+		}
+		log.Printf("FAULT INJECTION ON: hang=%.2f error=%.2f latency=%.2f/%v seed=%d (attack-oracle queries only)",
+			*faultHang, *faultError, *faultLatency, *faultDelay, *faultSeed)
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -82,6 +82,7 @@ func All() []*Analyzer {
 		Determinism,
 		Atomics,
 		BoundedQueue,
+		CtxFlow,
 		ZeroAlloc,
 	}
 }

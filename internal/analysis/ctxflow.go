@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// ctxflowPackages are the serving-path packages: code here sits between an
+// HTTP request (or a daemon's drain deadline) and a blocking operation, so
+// every wait must be interruptible through a context threaded from the
+// caller. internal/core is exempt — its context-free Attack entry point is
+// a documented legacy surface, and the determinism analyzer already bans
+// wall-clock reads there.
+var ctxflowPackages = []string{
+	"internal/server",
+	"internal/parallel",
+	"internal/faultinject",
+}
+
+// CtxFlow enforces context threading on the serving path:
+//
+//   - context.Background() / context.TODO() mint a fresh root, severing the
+//     chain that lets Server.Shutdown and per-job deadlines reach a blocked
+//     call. The pre-hardening resident oracle did exactly this — each query
+//     ran under WithTimeout(Background(), ...) and a draining server could
+//     not interrupt it. Serving-path code must derive from the ctx it was
+//     handed; the few legitimate roots (a pool's lifetime context, a
+//     post-cancel grace window, context-free compatibility shims) carry
+//     //lint:ignore ctxflow directives stating why.
+//   - time.Sleep blocks with no way to observe cancellation: use
+//     time.NewTimer and select against ctx.Done().
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "serving-path packages: no fresh context roots (Background/TODO) and no uninterruptible time.Sleep — thread the caller's ctx",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(p *Pass) {
+	if !pathWithinAny(p.Pkg.PkgPath, ctxflowPackages) {
+		return
+	}
+	info := p.Pkg.Info
+	forEachFunc(p.Pkg, func(fd *ast.FuncDecl) {
+		ast.Inspect(fd, func(n ast.Node) bool {
+			call, isCall := n.(*ast.CallExpr)
+			if !isCall {
+				return true
+			}
+			pkgPath, name, ok := pkgFuncCall(info, call)
+			if !ok {
+				return true
+			}
+			switch {
+			case pkgPath == "context" && (name == "Background" || name == "TODO"):
+				p.Reportf(call.Pos(), "context.%s mints a fresh root on the serving path, unreachable by shutdown or deadlines: thread the caller's ctx", name)
+			case pkgPath == "time" && name == "Sleep":
+				p.Reportf(call.Pos(), "time.Sleep cannot observe cancellation: use time.NewTimer with a select on ctx.Done()")
+			}
+			return true
+		})
+	})
+}

@@ -19,6 +19,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -36,6 +37,32 @@ type Oracle interface {
 	Name() string
 	// Detected returns true when the submitted bytes are flagged malicious.
 	Detected(raw []byte) bool
+}
+
+// ContextOracle is an Oracle whose queries honor cancellation and can fail.
+// Remote or resident oracles (the serving layer, fault-injected wrappers)
+// implement it so a stalled or erroring target surfaces as a prompt error
+// instead of a silent hang; QueryOracle routes through it when available.
+type ContextOracle interface {
+	Oracle
+	// DetectedContext is Detected bounded by ctx: it returns ctx.Err() when
+	// the caller's deadline expires or the attack is cancelled mid-query,
+	// and a non-nil error when the oracle itself cannot answer.
+	DetectedContext(ctx context.Context, raw []byte) (bool, error)
+}
+
+// QueryOracle performs one hard-label query, routing through DetectedContext
+// when the oracle honors cancellation. For a plain Oracle the query itself
+// cannot be interrupted, but an already-expired context is still respected
+// so cancelled attacks stop before the next query rather than mid-flight.
+func QueryOracle(ctx context.Context, o Oracle, raw []byte) (bool, error) {
+	if co, ok := o.(ContextOracle); ok {
+		return co.DetectedContext(ctx, raw)
+	}
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	return o.Detected(raw), nil
 }
 
 // DetectorOracle adapts any detect.Detector into an Oracle.
@@ -57,6 +84,19 @@ type CountingOracle struct {
 func (c *CountingOracle) Detected(raw []byte) bool {
 	c.Queries++
 	return c.Oracle.Detected(raw)
+}
+
+// DetectedContext implements ContextOracle, incrementing the query counter
+// and delegating to the wrapped oracle's context-aware path when it has one.
+func (c *CountingOracle) DetectedContext(ctx context.Context, raw []byte) (bool, error) {
+	c.Queries++
+	if co, ok := c.Oracle.(ContextOracle); ok {
+		return co.DetectedContext(ctx, raw)
+	}
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	return c.Oracle.Detected(raw), nil
 }
 
 // TailMode selects where the extra perturbation area lives (Figure 2: blue
@@ -173,10 +213,22 @@ func New(cfg Config) (*Attacker, error) {
 }
 
 // Attack generates an adversarial example for the original malware bytes
-// against the hard-label target.
+// against the hard-label target. It is AttackContext without a deadline.
 func (a *Attacker) Attack(original []byte, target Oracle) (*Result, error) {
+	return a.AttackContext(context.Background(), original, target)
+}
+
+// AttackContext is Attack bounded by ctx: cancellation is checked before
+// every round and threaded into each oracle query (honored whenever the
+// target implements ContextOracle). On cancellation or an oracle failure it
+// returns the partial Result — queries and rounds spent so far — alongside
+// the error, so callers can account for the budget an aborted attack burned.
+func (a *Attacker) AttackContext(ctx context.Context, original []byte, target Oracle) (*Result, error) {
 	res := &Result{}
 	for res.Queries < a.cfg.MaxQueries {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		res.Rounds++
 		// The tail perturbation area escalates across failed rounds: if
 		// content-level evasion alone does not flip the target, more benign
@@ -191,7 +243,11 @@ func (a *Attacker) Attack(original []byte, target Oracle) (*Result, error) {
 			return nil, fmt.Errorf("core: round %d: %w", res.Rounds, err)
 		}
 		res.Queries++
-		if !target.Detected(ae) {
+		detected, err := QueryOracle(ctx, target, ae)
+		if err != nil {
+			return res, fmt.Errorf("core: round %d: oracle query: %w", res.Rounds, err)
+		}
+		if !detected {
 			res.Success = true
 			res.AE = ae
 			return res, nil

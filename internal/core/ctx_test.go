@@ -1,0 +1,150 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"mpass/internal/corpus"
+)
+
+// ctxAttacker builds a lightweight Attacker (random fill, no optimization)
+// so cancellation tests exercise the query loop without training models.
+func ctxAttacker(t *testing.T) (*Attacker, []byte) {
+	t.Helper()
+	atk, err := New(Config{
+		MaxQueries:   50,
+		Shuffle:      true,
+		HeaderEdits:  true,
+		Tail:         TailSection,
+		TailLen:      64,
+		Fill:         FillRandom,
+		SkipOptimize: true,
+		Seed:         3,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return atk, corpus.NewGenerator(123).Sample(corpus.Malware).Raw
+}
+
+// scriptedOracle is a ContextOracle that always answers "detected" until a
+// scripted query index errors or triggers a cancellation.
+type scriptedOracle struct {
+	calls    int
+	failAt   int // 1-based query index that starts returning failErr
+	failErr  error
+	cancelAt int // 1-based query index that fires cancel
+	cancel   context.CancelFunc
+}
+
+func (o *scriptedOracle) Name() string         { return "scripted" }
+func (o *scriptedOracle) Detected([]byte) bool { o.calls++; return true }
+
+func (o *scriptedOracle) DetectedContext(ctx context.Context, raw []byte) (bool, error) {
+	o.calls++
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	if o.cancelAt > 0 && o.calls == o.cancelAt {
+		o.cancel()
+	}
+	if o.failAt > 0 && o.calls >= o.failAt {
+		return false, o.failErr
+	}
+	return true, nil
+}
+
+func TestAttackContextPropagatesOracleError(t *testing.T) {
+	atk, raw := ctxAttacker(t)
+	sentinel := errors.New("oracle offline")
+	o := &scriptedOracle{failAt: 3, failErr: sentinel}
+	res, err := atk.AttackContext(context.Background(), raw, o)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("AttackContext error = %v, want wrapped %v", err, sentinel)
+	}
+	if res == nil || res.Success {
+		t.Fatalf("partial result = %+v, want unsuccessful partial", res)
+	}
+	if res.Queries != 3 {
+		t.Fatalf("partial result counted %d queries, want 3 (budget spent before the failure)", res.Queries)
+	}
+}
+
+func TestAttackContextCancelledMidAttack(t *testing.T) {
+	atk, raw := ctxAttacker(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	o := &scriptedOracle{cancelAt: 2, cancel: cancel}
+	res, err := atk.AttackContext(ctx, raw, o)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("AttackContext error = %v, want context.Canceled", err)
+	}
+	// The cancel fires during query 2; the loop stops at the next round top.
+	if res.Queries != 2 {
+		t.Fatalf("partial result counted %d queries, want 2", res.Queries)
+	}
+}
+
+func TestAttackContextPreCancelled(t *testing.T) {
+	atk, raw := ctxAttacker(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	o := &scriptedOracle{}
+	res, err := atk.AttackContext(ctx, raw, o)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("AttackContext error = %v, want context.Canceled", err)
+	}
+	if res.Queries != 0 || o.calls != 0 {
+		t.Fatalf("pre-cancelled attack still queried: res=%d oracle=%d", res.Queries, o.calls)
+	}
+}
+
+// plainOracle is a context-free Oracle; QueryOracle must still respect an
+// already-expired context without invoking it.
+type plainOracle struct{ calls int }
+
+func (o *plainOracle) Name() string         { return "plain" }
+func (o *plainOracle) Detected([]byte) bool { o.calls++; return false }
+
+func TestQueryOraclePlainRespectsExpiredContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	o := &plainOracle{}
+	if _, err := QueryOracle(ctx, o, []byte("x")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("QueryOracle = %v, want context.Canceled", err)
+	}
+	if o.calls != 0 {
+		t.Fatal("expired context still reached the oracle")
+	}
+
+	det, err := QueryOracle(context.Background(), o, []byte("x"))
+	if err != nil || det {
+		t.Fatalf("QueryOracle = (%v, %v), want (false, nil)", det, err)
+	}
+	if o.calls != 1 {
+		t.Fatalf("oracle called %d times, want 1", o.calls)
+	}
+}
+
+func TestCountingOracleContextPassthrough(t *testing.T) {
+	inner := &scriptedOracle{}
+	c := &CountingOracle{Oracle: inner}
+	det, err := c.DetectedContext(context.Background(), []byte("x"))
+	if err != nil || !det {
+		t.Fatalf("DetectedContext = (%v, %v), want (true, nil)", det, err)
+	}
+	if c.Queries != 1 || inner.calls != 1 {
+		t.Fatalf("queries counted %d/%d, want 1/1", c.Queries, inner.calls)
+	}
+
+	// Wrapping a plain Oracle still works and still counts.
+	p := &plainOracle{}
+	cp := &CountingOracle{Oracle: p}
+	if det, err := cp.DetectedContext(context.Background(), []byte("x")); err != nil || det {
+		t.Fatalf("DetectedContext over plain oracle = (%v, %v), want (false, nil)", det, err)
+	}
+	if cp.Queries != 1 || p.calls != 1 {
+		t.Fatalf("plain passthrough counted %d/%d, want 1/1", cp.Queries, p.calls)
+	}
+}

@@ -1,0 +1,146 @@
+// Package faultinject wraps a core.Oracle with deterministic, seed-driven
+// fault injection — transient errors, added latency, and outright hangs —
+// so the serving layer's behavior under a degraded query oracle is
+// exercised by tests and CI instead of merely claimed. Query-based attacks
+// live or die on oracle availability (GAMMA and the Adversarial EXEmples
+// survey both stress this); the reproduction therefore needs a lever that
+// makes the oracle misbehave on demand.
+//
+// Fault decisions are drawn from a seeded *rand.Rand, three uniform draws
+// per query (hang, error, latency — in that order) regardless of the
+// configured rates, so the decision sequence for a given seed is a fixed
+// function of the query index and changing one rate never reshuffles the
+// other faults.
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mpass/internal/core"
+)
+
+// ErrInjected is the transient oracle failure the wrapper raises; retry
+// layers treat it like any other transient error.
+var ErrInjected = errors.New("faultinject: injected transient oracle error")
+
+// Config sets per-query fault probabilities. All rates are in [0, 1];
+// zero-valued Config injects nothing.
+type Config struct {
+	// Seed drives the fault decision stream.
+	Seed int64
+	// HangRate is the probability a query blocks until the caller's context
+	// is cancelled (the stalled-scanner scenario).
+	HangRate float64
+	// ErrorRate is the probability a query fails with ErrInjected.
+	ErrorRate float64
+	// LatencyRate is the probability a query is delayed by Latency before
+	// being forwarded.
+	LatencyRate float64
+	// Latency is the injected delay magnitude.
+	Latency time.Duration
+}
+
+// Stats counts what the wrapper actually injected.
+type Stats struct {
+	Queries int64 // queries seen (context-aware and plain)
+	Hangs   int64 // queries parked until ctx cancellation
+	Errors  int64 // queries failed with ErrInjected
+	Delays  int64 // queries delayed by cfg.Latency
+}
+
+// Oracle is the fault-injecting wrapper. It implements core.ContextOracle;
+// the context-free Detected path cannot hang (there is nothing to interrupt
+// it), so a drawn hang degrades to a fail-closed detection there.
+type Oracle struct {
+	inner core.Oracle
+	cfg   Config
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	queries atomic.Int64
+	hangs   atomic.Int64
+	errs    atomic.Int64
+	delays  atomic.Int64
+}
+
+// Wrap builds the fault-injecting oracle around inner.
+func Wrap(inner core.Oracle, cfg Config) *Oracle {
+	return &Oracle{inner: inner, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Name implements core.Oracle.
+func (o *Oracle) Name() string { return o.inner.Name() }
+
+// draw takes the query's three fault decisions from the seeded stream.
+func (o *Oracle) draw() (hang, fail, delay bool) {
+	o.mu.Lock()
+	uh, ue, ul := o.rng.Float64(), o.rng.Float64(), o.rng.Float64()
+	o.mu.Unlock()
+	return uh < o.cfg.HangRate, ue < o.cfg.ErrorRate, ul < o.cfg.LatencyRate && o.cfg.Latency > 0
+}
+
+// DetectedContext implements core.ContextOracle: it injects the drawn
+// faults — a hang parks on ctx.Done, an error returns ErrInjected, latency
+// waits (also bounded by ctx) — and otherwise forwards the query.
+func (o *Oracle) DetectedContext(ctx context.Context, raw []byte) (bool, error) {
+	o.queries.Add(1)
+	hang, fail, delay := o.draw()
+	if hang {
+		o.hangs.Add(1)
+		<-ctx.Done()
+		return false, ctx.Err()
+	}
+	if fail {
+		o.errs.Add(1)
+		return false, ErrInjected
+	}
+	if delay {
+		o.delays.Add(1)
+		t := time.NewTimer(o.cfg.Latency)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return false, ctx.Err()
+		}
+	}
+	return core.QueryOracle(ctx, o.inner, raw)
+}
+
+// Detected implements core.Oracle for context-free callers. A drawn hang
+// cannot be realized without a context to interrupt it, so it fails closed
+// (detected), as does a drawn error; latency is injected as a plain sleep.
+func (o *Oracle) Detected(raw []byte) bool {
+	o.queries.Add(1)
+	hang, fail, delay := o.draw()
+	if hang {
+		o.hangs.Add(1)
+		return true
+	}
+	if fail {
+		o.errs.Add(1)
+		return true
+	}
+	if delay {
+		o.delays.Add(1)
+		//lint:ignore ctxflow context-free Oracle compatibility path; the bounded form is DetectedContext
+		time.Sleep(o.cfg.Latency)
+	}
+	return o.inner.Detected(raw)
+}
+
+// Stats snapshots the injection counters.
+func (o *Oracle) Stats() Stats {
+	return Stats{
+		Queries: o.queries.Load(),
+		Hangs:   o.hangs.Load(),
+		Errors:  o.errs.Load(),
+		Delays:  o.delays.Load(),
+	}
+}

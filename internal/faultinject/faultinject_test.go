@@ -1,0 +1,162 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"mpass/internal/core"
+)
+
+// echoOracle answers from a fixed script so tests can tell forwarded
+// queries from injected ones.
+type echoOracle struct {
+	calls    int
+	detected bool
+}
+
+func (o *echoOracle) Name() string { return "echo" }
+func (o *echoOracle) Detected([]byte) bool {
+	o.calls++
+	return o.detected
+}
+
+// faultSequence replays n queries and records which fault (if any) each one
+// drew — the determinism probe.
+func faultSequence(t *testing.T, cfg Config, n int) []string {
+	t.Helper()
+	inner := &echoOracle{}
+	o := Wrap(inner, cfg)
+	seq := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+		_, err := o.DetectedContext(ctx, []byte("q"))
+		cancel()
+		switch {
+		case errors.Is(err, ErrInjected):
+			seq = append(seq, "error")
+		case errors.Is(err, context.DeadlineExceeded):
+			seq = append(seq, "hang")
+		case err == nil:
+			seq = append(seq, "ok")
+		default:
+			t.Fatalf("query %d: unexpected error %v", i, err)
+		}
+	}
+	return seq
+}
+
+func TestInjectionIsDeterministicPerSeed(t *testing.T) {
+	cfg := Config{Seed: 42, HangRate: 0.3, ErrorRate: 0.3}
+	a := faultSequence(t, cfg, 64)
+	b := faultSequence(t, cfg, 64)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("query %d diverged across identical seeds: %q vs %q", i, a[i], b[i])
+		}
+	}
+	kinds := map[string]int{}
+	for _, k := range a {
+		kinds[k]++
+	}
+	if kinds["hang"] == 0 || kinds["error"] == 0 || kinds["ok"] == 0 {
+		t.Fatalf("64 queries at 0.3/0.3 rates should mix all outcomes, got %v", kinds)
+	}
+
+	cfg.Seed = 43
+	c := faultSequence(t, cfg, 64)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced an identical fault sequence")
+	}
+}
+
+func TestZeroConfigForwardsEverything(t *testing.T) {
+	inner := &echoOracle{detected: true}
+	o := Wrap(inner, Config{Seed: 1})
+	for i := 0; i < 32; i++ {
+		det, err := o.DetectedContext(context.Background(), []byte("q"))
+		if err != nil || !det {
+			t.Fatalf("query %d: (%v, %v), want (true, nil)", i, det, err)
+		}
+	}
+	if inner.calls != 32 {
+		t.Fatalf("inner oracle saw %d calls, want 32", inner.calls)
+	}
+	s := o.Stats()
+	if s.Queries != 32 || s.Hangs != 0 || s.Errors != 0 || s.Delays != 0 {
+		t.Fatalf("stats = %+v, want 32 clean queries", s)
+	}
+}
+
+func TestHangHonorsContextCancellation(t *testing.T) {
+	o := Wrap(&echoOracle{}, Config{Seed: 1, HangRate: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := o.DetectedContext(ctx, []byte("q"))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("hang-injected query returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("hang returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("hang-injected query ignored cancellation")
+	}
+	if s := o.Stats(); s.Hangs != 1 {
+		t.Fatalf("stats = %+v, want 1 hang", s)
+	}
+}
+
+func TestLatencyIsBoundedByContext(t *testing.T) {
+	o := Wrap(&echoOracle{}, Config{Seed: 1, LatencyRate: 1, Latency: time.Hour})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := o.DetectedContext(ctx, []byte("q"))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("delayed query returned %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("delayed query took %v despite a 10ms deadline", elapsed)
+	}
+	if s := o.Stats(); s.Delays != 1 {
+		t.Fatalf("stats = %+v, want 1 delay", s)
+	}
+}
+
+func TestContextFreeDetectedFailsClosed(t *testing.T) {
+	inner := &echoOracle{detected: false}
+	o := Wrap(inner, Config{Seed: 1, HangRate: 1})
+	if !o.Detected([]byte("q")) {
+		t.Fatal("hang on the context-free path must fail closed (detected)")
+	}
+	if inner.calls != 0 {
+		t.Fatal("failed-closed query still reached the inner oracle")
+	}
+
+	o2 := Wrap(inner, Config{Seed: 1, ErrorRate: 1})
+	if !o2.Detected([]byte("q")) {
+		t.Fatal("injected error on the context-free path must fail closed")
+	}
+}
+
+// The wrapper must satisfy the oracle contracts it claims.
+var (
+	_ core.Oracle        = (*Oracle)(nil)
+	_ core.ContextOracle = (*Oracle)(nil)
+)

@@ -2,6 +2,7 @@ package parallel
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 )
@@ -21,7 +22,21 @@ type Pool struct {
 	workers sync.WaitGroup
 	pending atomic.Int64 // queued + running tasks
 	done    atomic.Int64 // tasks completed over the pool's lifetime
+
+	// base is the context handed to ctx-aware tasks; Cancel cancels it, so
+	// every queued and running task submitted via TrySubmitCtx observes the
+	// pool-wide cancellation at once (the forced-shutdown lever).
+	base       context.Context
+	cancelBase context.CancelFunc
 }
+
+// Submission errors. TrySubmit collapses both into false; TrySubmitCtx
+// surfaces them so callers can answer "queue full" (shed, retry later) and
+// "pool closed" (shutting down, go away) differently.
+var (
+	ErrQueueFull  = errors.New("parallel: pool queue full")
+	ErrPoolClosed = errors.New("parallel: pool closed")
+)
 
 // NewPool starts a pool with the given worker count (resolved via Workers,
 // so <= 0 selects GOMAXPROCS) and queue capacity (minimum 1).
@@ -29,7 +44,9 @@ func NewPool(workers, queue int) *Pool {
 	if queue < 1 {
 		queue = 1
 	}
-	p := &Pool{tasks: make(chan func(), queue)}
+	//lint:ignore ctxflow pool-lifetime cancellation root; Cancel severs it for every task at once
+	base, cancel := context.WithCancel(context.Background())
+	p := &Pool{tasks: make(chan func(), queue), base: base, cancelBase: cancel}
 	w := Workers(workers)
 	p.workers.Add(w)
 	for g := 0; g < w; g++ {
@@ -48,19 +65,35 @@ func NewPool(workers, queue int) *Pool {
 // TrySubmit enqueues task without blocking. It returns false when the queue
 // is full or the pool is closed — the admission-control signal.
 func (p *Pool) TrySubmit(task func()) bool {
+	return p.TrySubmitCtx(func(context.Context) { task() }) == nil
+}
+
+// TrySubmitCtx enqueues a cancellation-aware task without blocking. The
+// task receives the pool's base context: it is live for the pool's whole
+// life and cancelled by Cancel, so long-running tasks (serving-layer attack
+// jobs) can be reaped during a forced shutdown. Callers wanting a per-task
+// deadline derive one from the received context. Returns ErrQueueFull when
+// the queue is full and ErrPoolClosed after Drain/Close.
+func (p *Pool) TrySubmitCtx(task func(ctx context.Context)) error {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	if p.closed {
-		return false
+		return ErrPoolClosed
 	}
 	select {
-	case p.tasks <- task:
+	case p.tasks <- func() { task(p.base) }:
 		p.pending.Add(1)
-		return true
+		return nil
 	default:
-		return false
+		return ErrQueueFull
 	}
 }
+
+// Cancel cancels the context every ctx-aware task received, queued and
+// running alike. It does not close the pool or wait: pair it with Drain to
+// force a bounded shutdown — Drain for the graceful half, Cancel when the
+// deadline is near and the stragglers must be reaped.
+func (p *Pool) Cancel() { p.cancelBase() }
 
 // Pending returns the number of tasks submitted but not yet finished
 // (queued plus running).
@@ -92,6 +125,7 @@ func (p *Pool) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-idle:
+		p.cancelBase() // every task finished; release the base context
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
@@ -99,4 +133,7 @@ func (p *Pool) Drain(ctx context.Context) error {
 }
 
 // Close drains the pool with no deadline.
-func (p *Pool) Close() { p.Drain(context.Background()) }
+func (p *Pool) Close() {
+	//lint:ignore ctxflow Close is by contract the unbounded drain; Drain(ctx) is the bounded form
+	p.Drain(context.Background())
+}

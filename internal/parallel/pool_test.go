@@ -108,3 +108,76 @@ func TestPoolSubmitCloseRace(t *testing.T) {
 		t.Fatalf("accepted %d tasks but ran %d", accepted.Load(), ran.Load())
 	}
 }
+
+func TestPoolTrySubmitCtxErrors(t *testing.T) {
+	block := make(chan struct{})
+	p := NewPool(1, 1)
+	var started sync.WaitGroup
+	started.Add(1)
+	if err := p.TrySubmitCtx(func(context.Context) { started.Done(); <-block }); err != nil {
+		t.Fatalf("first TrySubmitCtx: %v", err)
+	}
+	started.Wait()
+	if err := p.TrySubmitCtx(func(context.Context) {}); err != nil {
+		t.Fatalf("queueable TrySubmitCtx: %v", err)
+	}
+	if err := p.TrySubmitCtx(func(context.Context) {}); err != ErrQueueFull {
+		t.Fatalf("full queue returned %v, want ErrQueueFull", err)
+	}
+	close(block)
+	p.Close()
+	if err := p.TrySubmitCtx(func(context.Context) {}); err != ErrPoolClosed {
+		t.Fatalf("closed pool returned %v, want ErrPoolClosed", err)
+	}
+}
+
+// TestPoolCancelReapsRunningAndQueuedTasks pins the forced-shutdown lever:
+// Cancel cancels the context of the running task and of tasks still queued,
+// so a bounded Drain+Cancel sequence frees ctx-honoring workers promptly.
+func TestPoolCancelReapsRunningAndQueuedTasks(t *testing.T) {
+	p := NewPool(1, 2)
+	running := make(chan struct{})
+	observed := make(chan error, 2)
+	p.TrySubmitCtx(func(ctx context.Context) {
+		close(running)
+		<-ctx.Done()
+		observed <- ctx.Err()
+	})
+	p.TrySubmitCtx(func(ctx context.Context) {
+		// Queued behind the first task: by the time it runs, the pool
+		// context is already cancelled.
+		observed <- ctx.Err()
+	})
+	<-running
+	p.Cancel()
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-observed:
+			if err != context.Canceled {
+				t.Fatalf("task %d observed %v, want context.Canceled", i, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("cancelled task never unblocked")
+		}
+	}
+	p.Close()
+}
+
+// TestPoolDrainThenCancelBoundsStuckWork is the jobRegistry shutdown shape:
+// graceful Drain times out on a ctx-honoring straggler, Cancel reaps it, and
+// a second Drain completes.
+func TestPoolDrainThenCancelBoundsStuckWork(t *testing.T) {
+	p := NewPool(1, 1)
+	p.TrySubmitCtx(func(ctx context.Context) { <-ctx.Done() })
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := p.Drain(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Drain under hung task: %v, want DeadlineExceeded", err)
+	}
+	p.Cancel()
+	gctx, gcancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer gcancel()
+	if err := p.Drain(gctx); err != nil {
+		t.Fatalf("post-Cancel Drain: %v", err)
+	}
+}

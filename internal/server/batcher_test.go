@@ -259,3 +259,70 @@ func TestBatcherScoreAfterCloseAndCtxCancel(t *testing.T) {
 		t.Fatalf("cancelled ScoreWait returned %v, want context.Canceled", err)
 	}
 }
+
+// TestScoreWaitCancelledMidBackpressure pins the prompt-cancellation half
+// of the backpressure contract: a ScoreWait caller parked on a full queue
+// (the position an attack job's oracle query occupies under load) must
+// observe its context's cancellation immediately, not after the queue
+// frees up.
+func TestScoreWaitCancelledMidBackpressure(t *testing.T) {
+	gate := &gatedDetector{
+		Detector: &stubDetector{name: "stub", thr: 0.5},
+		entered:  make(chan int, 8),
+		release:  make(chan struct{}, 8),
+	}
+	b := newBatcher([]detect.Detector{gate}, 1, 1, time.Millisecond, nil)
+	defer b.Close()
+
+	// Park the dispatcher inside a flush ...
+	firstDone := make(chan error, 1)
+	go func() {
+		_, err := b.Score(context.Background(), []byte("first"))
+		firstDone <- err
+	}()
+	<-gate.entered
+	// ... and fill the queue behind it.
+	secondDone := make(chan error, 1)
+	go func() {
+		_, err := b.Score(context.Background(), []byte("second"))
+		secondDone <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for b.queued() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("queue never filled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// ScoreWait now blocks on the send; cancelling must release it while the
+	// queue is still full.
+	ctx, cancel := context.WithCancel(context.Background())
+	waitErr := make(chan error, 1)
+	go func() {
+		_, err := b.ScoreWait(ctx, []byte("third"))
+		waitErr <- err
+	}()
+	time.Sleep(5 * time.Millisecond) // let it reach the blocked send
+	cancel()
+	select {
+	case err := <-waitErr:
+		if err != context.Canceled {
+			t.Fatalf("blocked ScoreWait returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("ScoreWait ignored cancellation while parked on a full queue")
+	}
+
+	// Unwedge the dispatcher and confirm the legitimately queued work
+	// still completes.
+	gate.release <- struct{}{}
+	<-gate.entered
+	gate.release <- struct{}{}
+	if err := <-firstDone; err != nil {
+		t.Fatalf("first scan: %v", err)
+	}
+	if err := <-secondDone; err != nil {
+		t.Fatalf("second scan: %v", err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"encoding/base64"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -47,15 +48,21 @@ type job struct {
 }
 
 // JobView is the JSON form of a job returned by GET /v1/jobs/{id}.
+//
+// Success, Queries, and Rounds are pointers so terminal states emit them
+// explicitly: a finished-but-unsuccessful job reports "success": false and
+// "queries": 0 rather than dropping the keys, which would make failure
+// indistinguishable from missing data. For queued/running jobs they are
+// omitted — the outcome does not exist yet.
 type JobView struct {
 	ID      string   `json:"id"`
 	Target  string   `json:"target"`
 	State   JobState `json:"state"`
 	Created string   `json:"created"`
 
-	Success    bool    `json:"success,omitempty"`
-	Queries    int     `json:"queries,omitempty"`
-	Rounds     int     `json:"rounds,omitempty"`
+	Success    *bool   `json:"success,omitempty"`
+	Queries    *int    `json:"queries,omitempty"`
+	Rounds     *int    `json:"rounds,omitempty"`
 	AESize     int     `json:"ae_size,omitempty"`
 	AESHA256   string  `json:"ae_sha256,omitempty"`
 	AEBase64   string  `json:"ae_base64,omitempty"`
@@ -66,54 +73,127 @@ type JobView struct {
 }
 
 // jobRegistry tracks attack jobs and runs them on a bounded parallel.Pool.
-// The pool's queue is the admission bound: a full queue rejects the job at
-// submission time and the HTTP layer answers 429.
+// The pool's queue is the admission bound for in-flight work, and the
+// registry itself is bounded too: finished jobs are retained for ttl and
+// evicted lazily (oldest first) whenever the map would exceed maxJobs, so a
+// long-lived daemon under job churn holds a steady-state registry instead
+// of leaking every result ever produced.
 type jobRegistry struct {
-	mu   sync.Mutex
-	jobs map[string]*job
-	seq  int64
-	pool *parallel.Pool
+	mu       sync.Mutex
+	jobs     map[string]*job
+	finished []string // job ids in finish order; the eviction queue
+	fhead    int      // index of the oldest un-evicted entry in finished
+	seq      int64
+	pool     *parallel.Pool
+
+	deadline time.Duration // per-job runtime cap (0 = none)
+	ttl      time.Duration // finished-job retention (0 = keep until cap)
+	maxJobs  int           // registry size cap (0 = unbounded)
+	grace    time.Duration // post-cancel wait during a forced shutdown
+
+	metrics *Metrics
 }
 
-func newJobRegistry(workers, queue int) *jobRegistry {
+func newJobRegistry(workers, queue int, deadline, ttl time.Duration, maxJobs int, grace time.Duration, m *Metrics) *jobRegistry {
 	return &jobRegistry{
-		jobs: make(map[string]*job),
-		pool: parallel.NewPool(workers, queue),
+		jobs:     make(map[string]*job),
+		pool:     parallel.NewPool(workers, queue),
+		deadline: deadline,
+		ttl:      ttl,
+		maxJobs:  maxJobs,
+		grace:    grace,
+		metrics:  m,
 	}
 }
 
-// submit registers a job and queues run; it returns ErrOverloaded when the
-// pool queue is full and ErrClosed once the registry drains.
-func (r *jobRegistry) submit(target string, run func(j *jobHandle)) (string, error) {
+// evictLocked drops finished jobs that have outlived ttl, then keeps
+// evicting oldest-finished-first while the registry (plus `need` incoming
+// entries) would exceed maxJobs. Live jobs are never evicted. Callers hold
+// r.mu.
+func (r *jobRegistry) evictLocked(now time.Time, need int) {
+	for r.fhead < len(r.finished) {
+		id := r.finished[r.fhead]
+		j, ok := r.jobs[id]
+		if !ok {
+			r.fhead++
+			continue
+		}
+		expired := r.ttl > 0 && now.Sub(j.finished) >= r.ttl
+		overCap := r.maxJobs > 0 && len(r.jobs)+need > r.maxJobs
+		if !expired && !overCap {
+			break
+		}
+		delete(r.jobs, id)
+		r.fhead++
+		r.metrics.JobsEvicted.Add(1)
+	}
+	// Compact the drained prefix so the eviction queue's backing array does
+	// not itself become the leak.
+	if r.fhead > 1024 && r.fhead*2 > len(r.finished) {
+		r.finished = append(r.finished[:0], r.finished[r.fhead:]...)
+		r.fhead = 0
+	}
+}
+
+// size reports the current registry entry count (live + retained finished).
+func (r *jobRegistry) size() int {
 	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.jobs)
+}
+
+// submit registers a job and queues run. The job's context is derived from
+// the pool (cancelled on forced shutdown) and bounded by the configured
+// per-job deadline. It returns ErrOverloaded when the pool queue or the
+// registry is full of live work, and ErrClosed once the registry drains.
+func (r *jobRegistry) submit(target string, run func(ctx context.Context, j *jobHandle)) (string, error) {
+	now := time.Now()
+	r.mu.Lock()
+	r.evictLocked(now, 1)
+	if r.maxJobs > 0 && len(r.jobs)+1 > r.maxJobs {
+		// Every remaining entry is live (queued or running) — the registry
+		// cap is doing its job as a second admission bound.
+		r.mu.Unlock()
+		return "", ErrOverloaded
+	}
 	r.seq++
 	j := &job{
 		id:      fmt.Sprintf("job-%06d", r.seq),
 		target:  target,
 		state:   JobQueued,
-		created: time.Now(),
+		created: now,
 	}
 	r.jobs[j.id] = j
 	r.mu.Unlock()
 
 	h := &jobHandle{reg: r, id: j.id}
-	ok := r.pool.TrySubmit(func() {
+	err := r.pool.TrySubmitCtx(func(ctx context.Context) {
+		if r.deadline > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, r.deadline)
+			defer cancel()
+		}
 		h.setRunning()
-		run(h)
+		run(ctx, h)
 	})
-	if !ok {
+	if err != nil {
 		r.mu.Lock()
 		delete(r.jobs, j.id)
 		r.mu.Unlock()
+		if errors.Is(err, parallel.ErrPoolClosed) {
+			return "", ErrClosed
+		}
 		return "", ErrOverloaded
 	}
 	return j.id, nil
 }
 
-// view snapshots a job for the HTTP layer.
+// view snapshots a job for the HTTP layer. TTL eviction also runs here so
+// retention is enforced on read-heavy, submit-quiet servers.
 func (r *jobRegistry) view(id string, includeAE bool) (JobView, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.evictLocked(time.Now(), 0)
 	j, ok := r.jobs[id]
 	if !ok {
 		return JobView{}, false
@@ -125,9 +205,10 @@ func (r *jobRegistry) view(id string, includeAE bool) (JobView, bool) {
 		Created: j.created.UTC().Format(time.RFC3339Nano),
 	}
 	if j.state == JobDone || j.state == JobFailed {
-		v.Success = j.success
-		v.Queries = j.queries
-		v.Rounds = j.rounds
+		success, queries, rounds := j.success, j.queries, j.rounds
+		v.Success = &success
+		v.Queries = &queries
+		v.Rounds = &rounds
 		v.Error = j.errMsg
 		v.ElapsedMs = float64(j.finished.Sub(j.started)) / 1e6
 		if j.success {
@@ -144,8 +225,27 @@ func (r *jobRegistry) view(id string, includeAE bool) (JobView, bool) {
 	return v, true
 }
 
-// drain stops admission and waits for queued and running jobs within ctx.
-func (r *jobRegistry) drain(ctx context.Context) error { return r.pool.Drain(ctx) }
+// shutdown bounds the drain: first a graceful wait for queued and running
+// jobs within ctx; if the deadline expires with stragglers, their contexts
+// are cancelled and ctx-honoring jobs get grace to unwind (recording
+// themselves as failed) before the original deadline error is surfaced.
+// A nil return means every job reached a terminal state.
+func (r *jobRegistry) shutdown(ctx context.Context) error {
+	err := r.pool.Drain(ctx)
+	if err == nil {
+		return nil
+	}
+	r.pool.Cancel()
+	// The grace window is deliberately decoupled from the caller's expired
+	// context: it exists to reap tasks that honor cancellation promptly.
+	//lint:ignore ctxflow bounded post-cancel grace after the caller's ctx already expired
+	gctx, cancel := context.WithTimeout(context.Background(), r.grace)
+	defer cancel()
+	if r.pool.Drain(gctx) == nil {
+		return nil
+	}
+	return err
+}
 
 // jobHandle lets the runner update its record without touching the map.
 type jobHandle struct {
@@ -169,6 +269,8 @@ func (h *jobHandle) setRunning() {
 }
 
 // finish records an attack result (or error) and flips the terminal state.
+// A partial result attached to an error (cancelled or oracle-failed attack)
+// still has its query/round spend recorded.
 func (h *jobHandle) finish(original []byte, res *core.Result, err error) {
 	var functional *bool
 	if err == nil && res.Success {
@@ -176,8 +278,15 @@ func (h *jobHandle) finish(original []byte, res *core.Result, err error) {
 			functional = &ok
 		}
 	}
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		h.reg.metrics.JobsCancelled.Add(1)
+	}
 	h.update(func(j *job) {
 		j.finished = time.Now()
+		if res != nil {
+			j.queries = res.Queries
+			j.rounds = res.Rounds
+		}
 		if err != nil {
 			j.state = JobFailed
 			j.errMsg = err.Error()
@@ -185,12 +294,13 @@ func (h *jobHandle) finish(original []byte, res *core.Result, err error) {
 		}
 		j.state = JobDone
 		j.success = res.Success
-		j.queries = res.Queries
-		j.rounds = res.Rounds
 		if res.Success {
 			j.ae = res.AE
 			j.aprPercent = 100 * float64(len(res.AE)-len(original)) / float64(len(original))
 			j.functional = functional
 		}
 	})
+	h.reg.mu.Lock()
+	h.reg.finished = append(h.reg.finished, h.id)
+	h.reg.mu.Unlock()
 }

@@ -27,6 +27,12 @@ type Metrics struct {
 
 	// Oracle traffic from resident attack jobs.
 	OracleQueries atomic.Int64
+	OracleRetries atomic.Int64 // backed-off re-attempts after transient oracle errors
+	OracleBreaks  atomic.Int64 // circuit-breaker openings (oracle declared unavailable)
+
+	// Job lifecycle robustness.
+	JobsEvicted   atomic.Int64 // finished jobs dropped from the registry (TTL or cap)
+	JobsCancelled atomic.Int64 // jobs ended by deadline expiry or shutdown cancellation
 
 	ScanLatency Histogram
 }
@@ -129,10 +135,19 @@ type MetricsSnapshot struct {
 	MeanBatch    float64 `json:"mean_batch_size"`
 
 	OracleQueries int64 `json:"oracle_queries"`
+	OracleRetries int64 `json:"oracle_retries"`
+	OracleBreaks  int64 `json:"oracle_breaks"`
 
-	JobsQueued  int `json:"jobs_queued"`
-	JobsPending int `json:"jobs_pending"`
-	JobsDone    int `json:"jobs_done"`
+	JobsQueued    int   `json:"jobs_queued"`
+	JobsPending   int   `json:"jobs_pending"`
+	JobsDone      int   `json:"jobs_done"`
+	JobsEvicted   int64 `json:"jobs_evicted"`
+	JobsCancelled int64 `json:"jobs_cancelled"`
+
+	// Registry gauges: current size and the max-live-jobs bound it is held
+	// under (0 = unbounded). Filled in by the Server, which owns the registry.
+	JobsRegistry    int `json:"jobs_registry"`
+	JobsRegistryCap int `json:"jobs_registry_cap"`
 
 	ScanLatency HistogramSnapshot `json:"scan_latency"`
 }
@@ -153,6 +168,10 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		MaxBatchSize:   m.MaxBatchSize.Load(),
 		Coalesced:      m.Coalesced.Load(),
 		OracleQueries:  m.OracleQueries.Load(),
+		OracleRetries:  m.OracleRetries.Load(),
+		OracleBreaks:   m.OracleBreaks.Load(),
+		JobsEvicted:    m.JobsEvicted.Load(),
+		JobsCancelled:  m.JobsCancelled.Load(),
 		ScanLatency:    m.ScanLatency.snapshot(),
 	}
 	if s.Batches > 0 {

@@ -27,7 +27,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -37,14 +39,16 @@ import (
 
 // AttackFunc runs one adversarial-example attack on original against the
 // named target, querying it only through oracle. Implementations own their
-// attack configuration; seed makes each job's randomness independent.
-type AttackFunc func(target detect.Detector, original []byte, oracle core.Oracle, seed int64) (*core.Result, error)
+// attack configuration; seed makes each job's randomness independent. The
+// context carries the job's deadline and the server's shutdown cancellation
+// — implementations must stop promptly once it is done.
+type AttackFunc func(ctx context.Context, target detect.Detector, original []byte, oracle core.Oracle, seed int64) (*core.Result, error)
 
 // MPassAttack is the production AttackFunc: the full MPass pipeline with the
 // suite's known-model ensemble for the chosen target (paper footnote 6
 // excludes LightGBM) and the given benign-donor pool.
 func MPassAttack(suite *detect.Suite, donors [][]byte, maxQueries int) AttackFunc {
-	return func(target detect.Detector, original []byte, oracle core.Oracle, seed int64) (*core.Result, error) {
+	return func(ctx context.Context, target detect.Detector, original []byte, oracle core.Oracle, seed int64) (*core.Result, error) {
 		cfg := core.DefaultConfig(suite.KnownFor(target.Name()), donors)
 		if maxQueries > 0 {
 			cfg.MaxQueries = maxQueries
@@ -54,7 +58,7 @@ func MPassAttack(suite *detect.Suite, donors [][]byte, maxQueries int) AttackFun
 		if err != nil {
 			return nil, err
 		}
-		return attacker.Attack(original, oracle)
+		return attacker.AttackContext(ctx, original, oracle)
 	}
 }
 
@@ -78,6 +82,35 @@ type Config struct {
 
 	RequestTimeout time.Duration // per-request deadline (default 10s)
 	MaxBodyBytes   int64         // largest accepted PE upload (default 8 MiB)
+
+	// Job lifecycle bounds. JobDeadline caps each attack job's runtime
+	// (default 2m; negative disables). JobTTL bounds how long a finished
+	// job's result stays pollable (default 10m; negative disables). MaxJobs
+	// caps the registry — live plus retained — evicting oldest-finished
+	// first and shedding submits when every entry is live (default 4096;
+	// negative = unbounded). DrainGrace is how long a forced shutdown waits
+	// after cancelling stragglers for them to record a terminal state
+	// (default 1s).
+	JobDeadline time.Duration
+	JobTTL      time.Duration
+	MaxJobs     int
+	DrainGrace  time.Duration
+
+	// Oracle robustness. Each attack-job oracle query is retried up to
+	// OracleAttempts times total (default 3; 1 disables retries) with
+	// exponential backoff from OracleBackoff (default 10ms) capped at
+	// OracleBackoffMax (default 1s). After OracleBreakAfter consecutive
+	// queries exhaust their retries the job's circuit breaker opens and the
+	// attack fails fast (default 5; negative disables).
+	OracleAttempts   int
+	OracleBackoff    time.Duration
+	OracleBackoffMax time.Duration
+	OracleBreakAfter int
+
+	// OracleWrap, when non-nil, wraps each attack job's resident oracle
+	// before the retry layer — the fault-injection hook (tests, mpassd
+	// -fault-* flags). It must be safe for concurrent use across jobs.
+	OracleWrap func(core.Oracle) core.Oracle
 
 	Seed int64 // base seed for per-job attack randomness
 }
@@ -106,6 +139,44 @@ func (c *Config) fillDefaults() {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
+	}
+	if c.JobDeadline == 0 {
+		c.JobDeadline = 2 * time.Minute
+	}
+	if c.JobTTL == 0 {
+		c.JobTTL = 10 * time.Minute
+	}
+	if c.MaxJobs == 0 {
+		c.MaxJobs = 4096
+	}
+	if c.DrainGrace <= 0 {
+		c.DrainGrace = time.Second
+	}
+	if c.OracleAttempts <= 0 {
+		c.OracleAttempts = 3
+	}
+	if c.OracleBackoff <= 0 {
+		c.OracleBackoff = 10 * time.Millisecond
+	}
+	if c.OracleBackoffMax <= 0 {
+		c.OracleBackoffMax = time.Second
+	}
+	if c.OracleBreakAfter == 0 {
+		c.OracleBreakAfter = 5
+	}
+	// Negative values mean "disabled"; normalize to the zero the mechanisms
+	// treat as off.
+	if c.JobDeadline < 0 {
+		c.JobDeadline = 0
+	}
+	if c.JobTTL < 0 {
+		c.JobTTL = 0
+	}
+	if c.MaxJobs < 0 {
+		c.MaxJobs = 0
+	}
+	if c.OracleBreakAfter < 0 {
+		c.OracleBreakAfter = 0
 	}
 }
 
@@ -150,7 +221,8 @@ func New(cfg Config) (*Server, error) {
 		s.byName[name] = i
 	}
 	s.batcher = newBatcher(cfg.Detectors, cfg.MaxBatch, cfg.ScanQueue, cfg.BatchWindow, &s.metrics)
-	s.jobs = newJobRegistry(cfg.AttackWorkers, cfg.AttackQueue)
+	s.jobs = newJobRegistry(cfg.AttackWorkers, cfg.AttackQueue,
+		cfg.JobDeadline, cfg.JobTTL, cfg.MaxJobs, cfg.DrainGrace, &s.metrics)
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/scan", s.handleScan)
@@ -169,14 +241,18 @@ func (s *Server) Metrics() *Metrics { return &s.metrics }
 
 // Shutdown drains the serving pipeline: new scans and attacks are rejected
 // immediately, queued and running attack jobs complete (bounded by ctx),
-// and the batcher flushes everything in flight before it stops. The caller
-// is responsible for the HTTP listener's own Shutdown (http.Server waits
-// for in-flight handlers, which in turn wait on the batcher).
+// and the batcher flushes everything in flight before it stops. If ctx
+// expires first, every outstanding job's context is cancelled and
+// ctx-honoring jobs get Config.DrainGrace to record a terminal state — so
+// even a wedged oracle cannot hold shutdown past the deadline plus grace.
+// The caller is responsible for the HTTP listener's own Shutdown
+// (http.Server waits for in-flight handlers, which in turn wait on the
+// batcher).
 func (s *Server) Shutdown(ctx context.Context) error {
 	if !s.draining.CompareAndSwap(false, true) {
 		return nil
 	}
-	err := s.jobs.drain(ctx)
+	err := s.jobs.shutdown(ctx)
 	s.batcher.Close()
 	return err
 }
@@ -202,28 +278,6 @@ func (s *Server) scan(ctx context.Context, raw []byte, wait bool) (scanOut, [32]
 	}
 	s.cache.put(key, out)
 	return out, key, false, nil
-}
-
-// residentOracle adapts the server's scan pipeline into the hard-label
-// Oracle an attack queries. Errors fail closed (detected): a scanner that
-// cannot answer must not look like an evasion.
-type residentOracle struct {
-	s    *Server
-	idx  int
-	name string
-}
-
-func (o *residentOracle) Name() string { return o.name }
-
-func (o *residentOracle) Detected(raw []byte) bool {
-	o.s.metrics.OracleQueries.Add(1)
-	ctx, cancel := context.WithTimeout(context.Background(), o.s.cfg.RequestTimeout)
-	defer cancel()
-	out, _, _, err := o.s.scan(ctx, raw, true)
-	if err != nil {
-		return true
-	}
-	return out.Labels[o.idx]
 }
 
 // scanModelResult is one detector's verdict in a scan response.
@@ -305,20 +359,71 @@ func (s *Server) handleAttack(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	target := s.cfg.Detectors[idx]
-	oracle := &residentOracle{s: s, idx: idx, name: targetName}
+	// Oracle stack, innermost out: resident scan pipeline -> optional fault
+	// wrapper (tests, -fault-* flags) -> retry + circuit breaker -> the
+	// attack's own query counter (added by the AttackFunc caller below).
+	// Queries counted against the attack budget are therefore logical ones;
+	// retries absorb injected transients without charging the budget.
+	var oracle core.Oracle = &residentOracle{s: s, idx: idx, name: targetName}
+	if s.cfg.OracleWrap != nil {
+		oracle = s.cfg.OracleWrap(oracle)
+	}
 	seed := s.cfg.Seed + s.seedSeq.Add(1)*7919
-	id, err := s.jobs.submit(targetName, func(h *jobHandle) {
-		res, aerr := s.cfg.Attack(target, raw, &core.CountingOracle{Oracle: oracle}, seed)
+	id, err := s.jobs.submit(targetName, func(ctx context.Context, h *jobHandle) {
+		retrying := &retryOracle{
+			inner:      oracle,
+			attempts:   s.cfg.OracleAttempts,
+			backoff:    s.cfg.OracleBackoff,
+			backoffMax: s.cfg.OracleBackoffMax,
+			breakAfter: s.cfg.OracleBreakAfter,
+			metrics:    &s.metrics,
+		}
+		res, aerr := s.cfg.Attack(ctx, target, raw, &core.CountingOracle{Oracle: retrying}, seed)
 		h.finish(raw, res, aerr)
 	})
-	if err != nil {
+	switch {
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	case err != nil:
 		s.metrics.AttackRejected.Add(1)
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfterAttack())
 		writeError(w, http.StatusTooManyRequests, "attack queue full")
 		return
 	}
 	s.metrics.AttackRequests.Add(1)
 	writeJSON(w, http.StatusAccepted, attackResponse{ID: id, Target: targetName, Poll: "/v1/jobs/" + id})
+}
+
+// retryAfter estimates how long a shed client should wait before retrying:
+// the current backlog divided by the observed completion rate, clamped to
+// [1, 60] seconds. With no throughput history yet it answers 1.
+func (s *Server) retryAfter(backlog int, completed int64) string {
+	up := time.Since(s.started).Seconds()
+	if up <= 0 || completed <= 0 {
+		return "1"
+	}
+	rate := float64(completed) / up
+	secs := int(math.Ceil(float64(backlog+1) / rate))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return strconv.Itoa(secs)
+}
+
+// retryAfterScan derives the scan-shed hint from batcher throughput; scans
+// drain orders of magnitude faster than attack jobs, so the two sheds
+// advertise different waits.
+func (s *Server) retryAfterScan() string {
+	return s.retryAfter(len(s.batcher.reqs), s.metrics.BatchedRaws.Load())
+}
+
+// retryAfterAttack derives the attack-shed hint from job-pool throughput.
+func (s *Server) retryAfterAttack() string {
+	return s.retryAfter(s.jobs.pool.Pending(), int64(s.jobs.pool.Done()))
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -349,6 +454,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap.JobsQueued = s.jobs.pool.Queued()
 	snap.JobsPending = s.jobs.pool.Pending()
 	snap.JobsDone = s.jobs.pool.Done()
+	snap.JobsRegistry = s.jobs.size()
+	snap.JobsRegistryCap = s.jobs.maxJobs
 	writeJSON(w, http.StatusOK, snap)
 }
 
@@ -379,7 +486,7 @@ func (s *Server) scanError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrOverloaded):
 		s.metrics.ScanRejected.Add(1)
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfterScan())
 		writeError(w, http.StatusTooManyRequests, "scan queue full")
 	case errors.Is(err, context.DeadlineExceeded):
 		s.metrics.ScanErrors.Add(1)

@@ -144,9 +144,11 @@ func TestScanRejectsBadBodies(t *testing.T) {
 // stubAttack returns an AttackFunc that queries the oracle queries times and
 // then succeeds with the original bytes plus a marker suffix.
 func stubAttack(queries int) AttackFunc {
-	return func(target detect.Detector, original []byte, oracle core.Oracle, seed int64) (*core.Result, error) {
+	return func(ctx context.Context, target detect.Detector, original []byte, oracle core.Oracle, seed int64) (*core.Result, error) {
 		for i := 0; i < queries; i++ {
-			oracle.Detected(append(original, byte(i)))
+			if _, err := core.QueryOracle(ctx, oracle, append(original, byte(i))); err != nil {
+				return &core.Result{Queries: i}, err
+			}
 		}
 		ae := append(append([]byte(nil), original...), 0xAA, 0xBB)
 		return &core.Result{Success: true, AE: ae, Queries: queries, Rounds: 1}, nil
@@ -181,11 +183,11 @@ func TestAttackJobLifecycle(t *testing.T) {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	if v.State != JobDone || !v.Success {
+	if v.State != JobDone || v.Success == nil || !*v.Success {
 		t.Fatalf("job finished %q success=%v (err %q)", v.State, v.Success, v.Error)
 	}
-	if v.Queries != 3 || v.Rounds != 1 {
-		t.Fatalf("queries/rounds = %d/%d, want 3/1", v.Queries, v.Rounds)
+	if v.Queries == nil || *v.Queries != 3 || v.Rounds == nil || *v.Rounds != 1 {
+		t.Fatalf("queries/rounds = %v/%v, want 3/1", v.Queries, v.Rounds)
 	}
 	wantAE := append(append([]byte(nil), raw...), 0xAA, 0xBB)
 	if v.AESize != len(wantAE) {
@@ -239,7 +241,7 @@ func TestAttackDisabledWithoutAttackFunc(t *testing.T) {
 func TestAttackQueueOverloadSheds429(t *testing.T) {
 	started := make(chan struct{}, 4)
 	release := make(chan struct{})
-	blockingAttack := func(target detect.Detector, original []byte, oracle core.Oracle, seed int64) (*core.Result, error) {
+	blockingAttack := func(ctx context.Context, target detect.Detector, original []byte, oracle core.Oracle, seed int64) (*core.Result, error) {
 		started <- struct{}{}
 		<-release
 		return &core.Result{Success: false, Queries: 0}, nil

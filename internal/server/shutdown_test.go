@@ -27,7 +27,7 @@ func TestGracefulShutdownDrainsInFlightWork(t *testing.T) {
 	attackRelease := make(chan struct{})
 	// The in-flight attack deliberately skips oracle queries: its drain must
 	// not depend on the batcher, which the test is holding hostage.
-	blockingAttack := func(target detect.Detector, original []byte, oracle core.Oracle, seed int64) (*core.Result, error) {
+	blockingAttack := func(ctx context.Context, target detect.Detector, original []byte, oracle core.Oracle, seed int64) (*core.Result, error) {
 		close(attackStarted)
 		<-attackRelease
 		ae := append(append([]byte(nil), original...), 0xCC)
@@ -125,7 +125,7 @@ func TestGracefulShutdownDrainsInFlightWork(t *testing.T) {
 	// after drain so clients can collect results.
 	var v JobView
 	getJSON(t, ts.URL+ar.Poll, &v)
-	if v.State != JobDone || !v.Success {
+	if v.State != JobDone || v.Success == nil || !*v.Success {
 		t.Fatalf("in-flight job finished %q success=%v", v.State, v.Success)
 	}
 
@@ -143,7 +143,9 @@ func TestShutdownDeadlineExpiresOnStuckJob(t *testing.T) {
 	t.Cleanup(func() { close(stuck) })
 	s, err := New(Config{
 		Detectors: []detect.Detector{&stubDetector{name: "A", thr: 0.5}},
-		Attack: func(target detect.Detector, original []byte, oracle core.Oracle, seed int64) (*core.Result, error) {
+		// This attack ignores its context entirely — the worst-behaved job the
+		// drain contract must still bound.
+		Attack: func(ctx context.Context, target detect.Detector, original []byte, oracle core.Oracle, seed int64) (*core.Result, error) {
 			<-stuck
 			return &core.Result{}, nil
 		},

@@ -6,13 +6,27 @@
 #   smoke  small corpus, short burst, one attack job  (make serve-smoke)
 #   bench  bigger burst; stdout is `go test -bench`-style lines for
 #          cmd/benchjson                               (make bench-json)
+#   faults smoke corpus, attack jobs against a fault-injecting oracle
+#          (hangs, transient errors, latency); every job must still reach
+#          a terminal state and the SIGTERM drain must stay bounded
+#                                                     (make serve-faults)
 set -eu
 
 mode="${1:-smoke}"
+faultflags=""
+loadflags=""
 case "$mode" in
 	smoke) mal=24; ben=24; clients=4; requests=120; attacks=1 ;;
 	bench) mal=40; ben=40; clients=8; requests=600; attacks=0 ;;
-	*) echo "usage: $0 [smoke|bench]" >&2; exit 2 ;;
+	faults)
+		mal=24; ben=24; clients=4; requests=60; attacks=3
+		# Hang rate 0.2 exercises the job deadline; error rate 0.3 the
+		# retry/breaker ladder; latency 0.3 the ctx-bounded delay path. The
+		# short -job-deadline keeps hang-struck jobs (and the drain) fast.
+		faultflags="-fault-hang 0.2 -fault-error 0.3 -fault-latency 0.3 -fault-delay 20ms -job-deadline 10s"
+		loadflags="-faults"
+		;;
+	*) echo "usage: $0 [smoke|bench|faults]" >&2; exit 2 ;;
 esac
 
 tmp="$(mktemp -d)"
@@ -31,9 +45,12 @@ trap cleanup EXIT INT TERM
 go build -o "$tmp/mpassd" ./cmd/mpassd
 go build -o "$tmp/mpass-load" ./cmd/mpass-load
 
+# $faultflags is deliberately unquoted: it is a flag list, empty outside
+# faults mode.
+# shellcheck disable=SC2086
 "$tmp/mpassd" -addr 127.0.0.1:0 -addr-file "$tmp/addr" \
 	-models "$tmp/models.gob" -malware "$mal" -benign "$ben" \
-	-max-queries 40 -drain 30s >&2 &
+	-max-queries 40 -drain 30s $faultflags >&2 &
 pid=$!
 
 # The address file appears once training finished and the socket is bound.
@@ -52,8 +69,9 @@ while [ ! -s "$tmp/addr" ]; do
 done
 addr="$(cat "$tmp/addr")"
 
+# shellcheck disable=SC2086
 "$tmp/mpass-load" -addr "$addr" \
-	-clients "$clients" -requests "$requests" -attacks "$attacks"
+	-clients "$clients" -requests "$requests" -attacks "$attacks" $loadflags
 
 # Graceful drain: mpassd exits non-zero if in-flight work failed to finish.
 kill -TERM "$pid"
