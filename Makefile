@@ -8,15 +8,17 @@ GO ?= go
 # retrains every eval model and takes tens of minutes).
 PARALLEL_PKGS = ./internal/parallel ./internal/tensor ./internal/nn \
                 ./internal/shapley ./internal/detect ./internal/av \
-                ./internal/server
+                ./internal/server ./internal/features
 
-# BENCH_N.json names follow the PR sequence; bench-json overwrites the
-# current ones (micro-benchmarks and the serving-layer load run).
-BENCH_JSON ?= BENCH_2.json
-SERVE_BENCH_JSON ?= BENCH_3.json
+# BENCH_N.json names follow the PR sequence and are append-only history:
+# benchjson refuses to overwrite an existing trajectory file, so a new run
+# bumps the number (or passes FORCE_BENCH=1 to regenerate in place).
+BENCH_JSON ?= BENCH_4.json
+SERVE_BENCH_JSON ?= BENCH_5.json
+BENCHJSON_FORCE = $(if $(FORCE_BENCH),-force,)
 
 .PHONY: all build vet lint test race race-all bench bench-full bench-json \
-        alloc serve-smoke serve-faults ci
+        quant-gate alloc serve-smoke serve-faults ci
 
 all: build
 
@@ -56,9 +58,20 @@ bench-full:
 # run, writing machine-readable reports for regression diffing.
 bench-json:
 	$(GO) test -run '^$$' \
-		-bench 'DetectorPredict$$|InputGradient$$|ShapleySample$$' \
-		-benchmem -count=1 . | $(GO) run ./cmd/benchjson -out $(BENCH_JSON)
-	sh scripts/serve_bench.sh bench | $(GO) run ./cmd/benchjson -out $(SERVE_BENCH_JSON)
+		-bench 'DetectorPredict$$|DetectorPredictQuant$$|StreamScore$$|InputGradient$$|ShapleySample$$' \
+		-benchmem -count=1 . | $(GO) run ./cmd/benchjson $(BENCHJSON_FORCE) -out $(BENCH_JSON)
+	sh scripts/serve_bench.sh bench | $(GO) run ./cmd/benchjson $(BENCHJSON_FORCE) -out $(SERVE_BENCH_JSON)
+
+# quant-gate is the fixed-point speedup gate: the int32 quantized table
+# path must beat the float64 table path by >= 1.3x, measured in a single
+# `go test -bench` run on the serving-size network so machine noise
+# cancels. (The matching accuracy gates — <= 1e-6 score deviation and zero
+# label flips on the eval corpus — are ordinary tests in internal/nn and
+# internal/detect.)
+quant-gate:
+	$(GO) test -run '^$$' -bench 'PredictTable(Float|Quant32)$$' -count=1 \
+		./internal/nn | $(GO) run ./cmd/benchjson \
+		-gate 'BenchmarkPredictTableFloat,BenchmarkPredictTableQuant32,1.3' >/dev/null
 
 # serve-smoke boots mpassd on a random port, drives it with mpass-load
 # (healthz preflight, scan burst, one attack job, /metrics cross-check), and
@@ -74,8 +87,9 @@ serve-faults:
 	sh scripts/serve_bench.sh faults
 
 # alloc is the allocation-regression gate: the scoring and gradient hot
-# paths must stay zero-allocation in steady state.
+# paths — float, quantized, and streaming — must stay zero-allocation in
+# steady state.
 alloc:
 	$(GO) test -run 'ZeroAlloc' -count=1 ./internal/nn
 
-ci: build vet lint test race alloc bench serve-smoke serve-faults
+ci: build vet lint test race alloc bench quant-gate serve-smoke serve-faults

@@ -328,6 +328,41 @@ func BenchmarkDetectorPredict(b *testing.B) {
 	}
 }
 
+// BenchmarkDetectorPredictQuant measures the same MalConv forward pass
+// through the int32 fixed-point tables — the certified quantized serving
+// mode. Compare against BenchmarkDetectorPredict in the same run.
+func BenchmarkDetectorPredictQuant(b *testing.B) {
+	s := suite(b)
+	raw := benchVictim(b)
+	s.SetQuantMode(nn.QuantInt32)
+	defer s.SetQuantMode(nn.QuantOff)
+	s.MalConv.Score(raw) // build the quant tables outside the timed region
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.MalConv.Score(raw)
+	}
+}
+
+// BenchmarkStreamScore measures the O(chunk) streaming scorer on the same
+// sample, fed in 4 KiB chunks.
+func BenchmarkStreamScore(b *testing.B) {
+	s := suite(b)
+	raw := benchVictim(b)
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := s.MalConv.NewStream()
+		for off := 0; off < len(raw); off += 4096 {
+			end := off + 4096
+			if end > len(raw) {
+				end = len(raw)
+			}
+			st.Feed(raw[off:end])
+		}
+		st.Finish()
+	}
+}
+
 // BenchmarkInputGradient measures one embedding-space gradient (the unit of
 // Eq. 3's optimization).
 func BenchmarkInputGradient(b *testing.B) {

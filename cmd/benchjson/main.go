@@ -81,8 +81,49 @@ func parseLine(line string) (Result, bool) {
 	return r, true
 }
 
+// checkGate enforces a speedup requirement of the form "BASE,NEW,MIN":
+// the report must contain benchmarks BASE and NEW, and BASE's ns/op must
+// be at least MIN times NEW's. It returns the achieved ratio.
+func checkGate(rep *Report, spec string) (float64, error) {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 3 {
+		return 0, fmt.Errorf("gate spec %q: want BASE,NEW,MIN", spec)
+	}
+	min, err := strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
+	if err != nil || min <= 0 {
+		return 0, fmt.Errorf("gate spec %q: bad minimum speedup %q", spec, parts[2])
+	}
+	find := func(name string) (Result, error) {
+		for _, r := range rep.Benchmarks {
+			if r.Name == name {
+				return r, nil
+			}
+		}
+		return Result{}, fmt.Errorf("gate: benchmark %q not in input", name)
+	}
+	base, err := find(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return 0, err
+	}
+	next, err := find(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return 0, err
+	}
+	if next.NsPerOp <= 0 {
+		return 0, fmt.Errorf("gate: %s has non-positive ns/op", next.Name)
+	}
+	ratio := base.NsPerOp / next.NsPerOp
+	if ratio < min {
+		return ratio, fmt.Errorf("gate: %s is %.2fx faster than %s, need >= %.2fx",
+			next.Name, ratio, base.Name, min)
+	}
+	return ratio, nil
+}
+
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
+	force := flag.Bool("force", false, "overwrite an existing -out file")
+	gate := flag.String("gate", "", "speedup gate 'BASE,NEW,MIN': require ns/op(BASE)/ns/op(NEW) >= MIN, exit 1 otherwise")
 	flag.Parse()
 
 	var rep Report
@@ -103,6 +144,25 @@ func main() {
 	if len(rep.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
+	}
+
+	if *gate != "" {
+		ratio, err := checkGate(&rep, *gate)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: gate %s ok (%.2fx)\n", *gate, ratio)
+	}
+
+	// Trajectory files (BENCH_<n>.json) are append-only history: a new run
+	// gets a new number, never silently replaces an old one.
+	if *out != "" && !*force {
+		if _, err := os.Stat(*out); err == nil {
+			fmt.Fprintf(os.Stderr,
+				"benchjson: %s already exists; pick a new trajectory file or pass -force\n", *out)
+			os.Exit(1)
+		}
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")

@@ -39,3 +39,30 @@ func TestParseLine(t *testing.T) {
 		}
 	}
 }
+
+func TestCheckGate(t *testing.T) {
+	rep := &Report{Benchmarks: []Result{
+		{Name: "BenchmarkFloat", NsPerOp: 400},
+		{Name: "BenchmarkQuant", NsPerOp: 250},
+	}}
+
+	ratio, err := checkGate(rep, "BenchmarkFloat,BenchmarkQuant,1.3")
+	if err != nil {
+		t.Fatalf("gate should pass at 1.6x: %v", err)
+	}
+	if ratio != 1.6 {
+		t.Fatalf("ratio = %v, want 1.6", ratio)
+	}
+
+	if _, err := checkGate(rep, "BenchmarkFloat,BenchmarkQuant,2.0"); err == nil {
+		t.Fatal("gate passed below the required speedup")
+	}
+	if _, err := checkGate(rep, "BenchmarkFloat,BenchmarkMissing,1.1"); err == nil {
+		t.Fatal("gate passed with a missing benchmark")
+	}
+	for _, bad := range []string{"", "a,b", "a,b,c,d", "a,b,zero", "a,b,-1"} {
+		if _, err := checkGate(rep, bad); err == nil {
+			t.Fatalf("malformed spec %q accepted", bad)
+		}
+	}
+}

@@ -45,6 +45,7 @@ func main() {
 	attacks := flag.Int("attacks", 0, "attack jobs to submit and poll to completion")
 	faults := flag.Bool("faults", false, "fault-drill mode: the server runs with -fault-* injection, so failed attack jobs are expected; report the fault counters instead of treating failures as fatal")
 	seed := flag.Int64("seed", 1, "sample-pool generation seed")
+	streamMB := flag.Int("stream-mb", 0, "also POST a chunked upload of this many MiB to exercise the O(chunk) streaming scan path (0 disables)")
 	wait := flag.Duration("wait", 15*time.Second, "how long to wait for /healthz before giving up")
 	flag.Parse()
 	if *clients < 1 || *requests < 1 || *samples < 1 {
@@ -109,12 +110,35 @@ func main() {
 		}
 	}
 
+	var streamed time.Duration
+	if *streamMB > 0 {
+		var err error
+		if streamed, err = runStreamScan(base, int64(*streamMB)<<20); err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	snap, err := fetchMetrics(base)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if got := snap.ScanRequests; got < int64(*requests) {
 		log.Fatalf("/metrics scan_requests = %d, expected >= %d", got, *requests)
+	}
+	if *streamMB > 0 {
+		// Cross-check: the large upload must have taken the streaming path,
+		// and the server must have seen every byte of it.
+		if snap.ScansStreamed < 1 {
+			log.Fatalf("/metrics scans_streamed = %d after a %d MiB upload, expected >= 1",
+				snap.ScansStreamed, *streamMB)
+		}
+		if want := int64(*streamMB) << 20; snap.StreamedBytes < want {
+			log.Fatalf("/metrics streamed_bytes = %d, expected >= %d", snap.StreamedBytes, want)
+		}
+		fmt.Fprintf(os.Stderr, "streamed a %d MiB chunked upload in %v (scans_streamed=%d)\n",
+			*streamMB, streamed.Round(time.Millisecond), snap.ScansStreamed)
+		fmt.Printf("BenchmarkServeScanStream 1 %d ns/op %d body-bytes\n",
+			streamed.Nanoseconds(), int64(*streamMB)<<20)
 	}
 
 	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
@@ -183,6 +207,50 @@ func postScan(base string, raw []byte) (int, error) {
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	return resp.StatusCode, nil
+}
+
+// patternBody generates n pseudo-random bytes on the fly, so the client
+// never holds the upload either — both ends of the wire stay O(chunk).
+type patternBody struct {
+	remaining int64
+	state     uint64
+}
+
+func (r *patternBody) Read(p []byte) (int, error) {
+	if r.remaining <= 0 {
+		return 0, io.EOF
+	}
+	n := len(p)
+	if int64(n) > r.remaining {
+		n = int(r.remaining)
+	}
+	for i := 0; i < n; i++ {
+		r.state = r.state*6364136223846793005 + 1442695040888963407
+		p[i] = byte(r.state >> 56)
+	}
+	r.remaining -= int64(n)
+	return n, nil
+}
+
+// runStreamScan POSTs a size-byte chunked upload (unknown Content-Length,
+// so the server must stream it) and requires a 200.
+func runStreamScan(base string, size int64) (time.Duration, error) {
+	t0 := time.Now()
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/scan", &patternBody{remaining: size, state: 1})
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("streamed scan: %w", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("streamed scan: status %d: %s", resp.StatusCode, body)
+	}
+	return time.Since(t0), nil
 }
 
 // runAttacks submits n attack jobs on pool samples and polls each to a
@@ -255,6 +323,10 @@ type metricsDoc struct {
 	MaxBatchSize int64   `json:"max_batch_size"`
 	Coalesced    int64   `json:"coalesced_batches"`
 	CacheHits    int64   `json:"cache_hits"`
+
+	// Streaming scan path.
+	ScansStreamed int64 `json:"scans_streamed"`
+	StreamedBytes int64 `json:"streamed_bytes"`
 
 	// Lifecycle/fault counters, reported in -faults mode.
 	OracleQueries   int64 `json:"oracle_queries"`

@@ -36,6 +36,7 @@ import (
 	"mpass/internal/corpus"
 	"mpass/internal/detect"
 	"mpass/internal/faultinject"
+	"mpass/internal/nn"
 	"mpass/internal/server"
 )
 
@@ -61,6 +62,10 @@ func main() {
 	attackQueue := flag.Int("attack-queue", 64, "attack admission queue; full sheds with 429")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-request deadline")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
+	quant := flag.String("quant", "off", "fixed-point inference tables for the neural detectors: off, int16, or int32")
+	streamThreshold := flag.Int64("stream-threshold", 1<<20, "scan bodies longer than this stream in O(chunk) memory (negative disables streaming)")
+	streamChunk := flag.Int("stream-chunk", 256<<10, "streaming scan read size")
+	maxStreamBytes := flag.Int64("max-stream-bytes", 64<<20, "largest accepted streamed scan body (413 beyond)")
 
 	jobDeadline := flag.Duration("job-deadline", 2*time.Minute, "per-attack-job runtime cap (negative disables)")
 	jobTTL := flag.Duration("job-ttl", 10*time.Minute, "finished-job result retention (negative disables)")
@@ -76,9 +81,22 @@ func main() {
 		log.Fatalf("workers must be >= 0 (0 = GOMAXPROCS), got %d", *workers)
 	}
 
+	qmode, err := nn.ParseQuantMode(*quant)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	suite, err := loadOrTrain(*models, *seed, *nMal, *nBen, *workers)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if qmode != nn.QuantOff {
+		// Applied after load/train, before serving: the fixed-point tables
+		// derive from the resident weights on first use and survive model
+		// hot paths for the daemon's lifetime. int32 is the certified
+		// (<= 1e-6 score deviation, label-identical) serving mode.
+		suite.SetQuantMode(qmode)
+		log.Printf("quantized inference: %v", qmode)
 	}
 
 	// The donor pool reuses the eval harness's generator stream (seed offset
@@ -91,19 +109,22 @@ func main() {
 	}
 
 	cfg := server.Config{
-		Detectors:      suite.OfflineTargets(),
-		Attack:         server.MPassAttack(suite, pool, *maxQueries),
-		MaxBatch:       *maxBatch,
-		BatchWindow:    *window,
-		ScanQueue:      *scanQueue,
-		CacheSize:      *cacheSize,
-		AttackWorkers:  *attackWorkers,
-		AttackQueue:    *attackQueue,
-		RequestTimeout: *timeout,
-		JobDeadline:    *jobDeadline,
-		JobTTL:         *jobTTL,
-		MaxJobs:        *maxJobs,
-		Seed:           *seed,
+		Detectors:       suite.OfflineTargets(),
+		Attack:          server.MPassAttack(suite, pool, *maxQueries),
+		MaxBatch:        *maxBatch,
+		BatchWindow:     *window,
+		ScanQueue:       *scanQueue,
+		CacheSize:       *cacheSize,
+		AttackWorkers:   *attackWorkers,
+		AttackQueue:     *attackQueue,
+		RequestTimeout:  *timeout,
+		StreamThreshold: *streamThreshold,
+		StreamChunk:     *streamChunk,
+		MaxStreamBytes:  *maxStreamBytes,
+		JobDeadline:     *jobDeadline,
+		JobTTL:          *jobTTL,
+		MaxJobs:         *maxJobs,
+		Seed:            *seed,
 	}
 	if *faultHang > 0 || *faultError > 0 || *faultLatency > 0 {
 		fcfg := faultinject.Config{

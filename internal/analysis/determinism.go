@@ -8,8 +8,9 @@ import (
 )
 
 // scorePackages are the packages whose code can influence a model score:
-// the two model families, the tensor kernels under them, the detector
-// layer, the Shapley explainer, and the attack core that consumes
+// the two model families, the tensor kernels under them, the feature
+// extractor feeding the tree model (buffered and streaming paths), the
+// detector layer, the Shapley explainer, and the attack core that consumes
 // gradients and oracle scores. Everything the repo reports — transfer
 // tables, section rankings, query counts — is a pure function of (seed,
 // corpus, config) only as long as these stay deterministic.
@@ -17,6 +18,7 @@ var scorePackages = []string{
 	"internal/nn",
 	"internal/gbdt",
 	"internal/tensor",
+	"internal/features",
 	"internal/detect",
 	"internal/shapley",
 	"internal/core",

@@ -1,0 +1,186 @@
+package detect
+
+import (
+	"bytes"
+	"testing"
+
+	"mpass/internal/nn"
+)
+
+// streamScore runs raw through d's streaming scorer in chunks of size sz.
+func streamScore(d Streamer, raw []byte, sz int) float64 {
+	s := d.NewStream()
+	for len(raw) > 0 {
+		n := sz
+		if n > len(raw) {
+			n = len(raw)
+		}
+		s.Feed(raw[:n])
+		raw = raw[n:]
+	}
+	return s.Finish()
+}
+
+// TestStreamingMatchesScore is the CI streaming-equivalence gate: for all
+// four offline detectors, every chunking of every eval sample must stream
+// to exactly the score the buffered path computes — in the float64
+// reference mode and with fixed-point tables enabled.
+func TestStreamingMatchesScore(t *testing.T) {
+	mc, nng, lg, gcg := models(t)
+	suite := &Suite{MalConv: mc, NonNeg: nng, LGBM: lg, MalGCG: gcg}
+	defer suite.SetQuantMode(nn.QuantOff)
+	raws := rawsOf(dataset(t).Test)
+	if len(raws) > 8 {
+		raws = raws[:8]
+	}
+	for _, mode := range []nn.QuantMode{nn.QuantOff, nn.QuantInt32} {
+		suite.SetQuantMode(mode)
+		for _, d := range suite.OfflineTargets() {
+			st, ok := d.(Streamer)
+			if !ok {
+				t.Fatalf("%s does not implement Streamer", d.Name())
+			}
+			for i, raw := range raws {
+				want := d.Score(raw)
+				for _, sz := range []int{1, 97, 4096, 1 << 24} {
+					if got := streamScore(st, raw, sz); got != want {
+						t.Fatalf("%s mode %v sample %d chunk %d: stream %v != score %v",
+							d.Name(), mode, i, sz, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// quantEvalBounds are the certified per-mode score-deviation bounds over
+// the eval corpus; make quant-parity runs this file as the release gate.
+var quantEvalBounds = map[nn.QuantMode]float64{
+	nn.QuantInt32: 1e-6,
+	nn.QuantInt16: 1e-3,
+}
+
+// TestQuantParityOnEvalCorpus is the quantization error-bound gate from
+// the serving spec: across the full eval corpus (train + test splits),
+// int32 fixed-point scores of every neural detector must stay within 1e-6
+// of the float64 reference and flip zero hard labels. The int16 variant
+// gets the looser measured bound.
+func TestQuantParityOnEvalCorpus(t *testing.T) {
+	mc, nng, lg, gcg := models(t)
+	suite := &Suite{MalConv: mc, NonNeg: nng, LGBM: lg, MalGCG: gcg}
+	defer suite.SetQuantMode(nn.QuantOff)
+	ds := dataset(t)
+	raws := append(rawsOf(ds.Train), rawsOf(ds.Test)...)
+
+	dets := []*ConvDetector{mc, nng, gcg}
+	ref := make([][]float64, len(dets))
+	suite.SetQuantMode(nn.QuantOff)
+	for i, d := range dets {
+		ref[i] = ScoreAll(d, raws, 0)
+	}
+	for mode, bound := range quantEvalBounds {
+		suite.SetQuantMode(mode)
+		for i, d := range dets {
+			got := ScoreAll(d, raws, 0)
+			var maxDev float64
+			flips := 0
+			for j := range raws {
+				dev := got[j] - ref[i][j]
+				if dev < 0 {
+					dev = -dev
+				}
+				if dev > maxDev {
+					maxDev = dev
+				}
+				if (got[j] >= d.Threshold) != (ref[i][j] >= d.Threshold) {
+					flips++
+				}
+			}
+			if maxDev > bound {
+				t.Errorf("%s mode %v: max |dev| %.3g over %d samples exceeds %.0g",
+					d.Name(), mode, maxDev, len(raws), bound)
+			}
+			if flips != 0 {
+				t.Errorf("%s mode %v: %d label flips, want 0", d.Name(), mode, flips)
+			}
+		}
+	}
+}
+
+// TestSuiteQuantGobRoundTrip: quantized tables are runtime-only. A suite
+// saved while serving fixed-point must load cleanly, score bit-identically
+// to the float64 source, and — once the mode is re-applied — rebuild quant
+// tables from the loaded weights that agree with the source's.
+func TestSuiteQuantGobRoundTrip(t *testing.T) {
+	s := trainedSuite(t)
+	defer s.SetQuantMode(nn.QuantOff)
+	raws := rawsOf(dataset(t).Test)
+	if len(raws) > 8 {
+		raws = raws[:8]
+	}
+
+	s.SetQuantMode(nn.QuantInt32)
+	var buf bytes.Buffer
+	if err := SaveSuite(&buf, s); err != nil {
+		t.Fatalf("SaveSuite with quant enabled: %v", err)
+	}
+	quantScores := ScoreAll(s.MalConv, raws, 0)
+	s.SetQuantMode(nn.QuantOff)
+	floatScores := ScoreAll(s.MalConv, raws, 0)
+
+	loaded, err := LoadSuite(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("LoadSuite: %v", err)
+	}
+	// Fresh load defaults to the float64 reference path: no stale quant
+	// image may ride along in the gob stream.
+	for j, raw := range raws {
+		if got := loaded.MalConv.Score(raw); got != floatScores[j] {
+			t.Fatalf("sample %d: loaded float score %v != source %v", j, got, floatScores[j])
+		}
+	}
+	loaded.SetQuantMode(nn.QuantInt32)
+	for j, raw := range raws {
+		if got := loaded.MalConv.Score(raw); got != quantScores[j] {
+			t.Fatalf("sample %d: loaded quant score %v != source quant %v", j, got, quantScores[j])
+		}
+	}
+}
+
+// TestLoadSuiteTruncatedStream: a gob envelope cut off at any point must
+// fail loudly, never yield a partially-initialized suite.
+func TestLoadSuiteTruncatedStream(t *testing.T) {
+	s := trainedSuite(t)
+	var buf bytes.Buffer
+	if err := SaveSuite(&buf, s); err != nil {
+		t.Fatalf("SaveSuite: %v", err)
+	}
+	full := buf.Bytes()
+	for _, frac := range []float64{0, 0.1, 0.5, 0.9, 0.999} {
+		n := int(frac * float64(len(full)))
+		if _, err := LoadSuite(bytes.NewReader(full[:n])); err == nil {
+			t.Errorf("LoadSuite accepted a stream truncated to %d/%d bytes", n, len(full))
+		}
+	}
+}
+
+// TestLoadSuiteCorruptMagic: flipping the envelope magic must be rejected
+// as "not a model file", whether the corruption lands in the magic string
+// or the surrounding gob framing.
+func TestLoadSuiteCorruptMagic(t *testing.T) {
+	s := trainedSuite(t)
+	var buf bytes.Buffer
+	if err := SaveSuite(&buf, s); err != nil {
+		t.Fatalf("SaveSuite: %v", err)
+	}
+	full := buf.Bytes()
+	i := bytes.Index(full, []byte(suiteMagic))
+	if i < 0 {
+		t.Fatal("magic string not found in encoded stream")
+	}
+	corrupt := append([]byte(nil), full...)
+	corrupt[i] ^= 0xFF
+	if _, err := LoadSuite(bytes.NewReader(corrupt)); err == nil {
+		t.Error("LoadSuite accepted a stream with corrupted magic")
+	}
+}

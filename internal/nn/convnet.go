@@ -79,12 +79,22 @@ type ConvNet struct {
 	tab           atomic.Pointer[respTable]
 	tabMu         sync.Mutex
 
+	// Fixed-point variant (quant.go): quantMode selects the served table
+	// format, qtab caches the quantized image of the float table for one
+	// (version, mode) pair. Never persisted — rebuilt lazily after any
+	// weight change, mode switch, or gob decode.
+	quantMode atomic.Int32
+	qtab      atomic.Pointer[quantTable]
+	qtabMu    sync.Mutex
+
 	// Reusable per-call buffers: scratchPool holds forward/backward scratch
 	// (one per in-flight forward), igPool recycles InputGrad results after
-	// Release. Both make steady-state Predict and InputGradient allocation
-	// free.
+	// Release, streamPool recycles ConvStream shells (stream.go). All three
+	// make steady-state Predict, InputGradient, and stream scoring
+	// allocation free.
 	scratchPool sync.Pool
 	igPool      sync.Pool
+	streamPool  sync.Pool
 
 	// paramList/gradList are the fixed param/grad slice sets, built once so
 	// params()/grads() don't allocate on the zeroGrads hot path.
@@ -269,12 +279,19 @@ func (n *ConvNet) head(c *cache) {
 }
 
 // Predict returns the malware probability for raw bytes, through the
-// lookup-table fast path. Steady state allocates nothing.
+// lookup-table fast path — float64 tables by default, the fixed-point
+// variant when a QuantMode is set. Steady state allocates nothing either
+// way.
 //
 //mpass:zeroalloc
 func (n *ConvNet) Predict(raw []byte) float64 {
 	sc := n.getScratch()
-	score := n.forwardTable(raw, n.tables(), sc).score
+	var score float64
+	if qt := n.quantTables(); qt != nil {
+		score = n.forwardTableQuant(raw, qt, sc).score
+	} else {
+		score = n.forwardTable(raw, n.tables(), sc).score
+	}
 	n.putScratch(sc)
 	return score
 }
@@ -285,6 +302,14 @@ func (n *ConvNet) Predict(raw []byte) float64 {
 func (n *ConvNet) PredictBatch(raws [][]byte) []float64 {
 	scores := make([]float64, len(raws))
 	if len(raws) == 0 {
+		return scores
+	}
+	if qt := n.quantTables(); qt != nil {
+		parallel.ForEach(n.Workers, len(raws), func(i int) {
+			sc := n.getScratch()
+			scores[i] = n.forwardTableQuant(raws[i], qt, sc).score
+			n.putScratch(sc)
+		})
 		return scores
 	}
 	tab := n.tables()

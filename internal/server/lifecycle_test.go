@@ -331,7 +331,7 @@ type transientOracle struct {
 	calls atomic.Int64
 }
 
-func (o *transientOracle) Name() string          { return o.inner.Name() }
+func (o *transientOracle) Name() string             { return o.inner.Name() }
 func (o *transientOracle) Detected(raw []byte) bool { return o.inner.Detected(raw) }
 func (o *transientOracle) DetectedContext(ctx context.Context, raw []byte) (bool, error) {
 	if o.calls.Add(1)%2 == 1 {
@@ -372,7 +372,7 @@ func TestOracleRetryMasksTransientErrors(t *testing.T) {
 // deadOracle fails every query — the breaker's trigger.
 type deadOracle struct{ inner core.Oracle }
 
-func (o *deadOracle) Name() string          { return o.inner.Name() }
+func (o *deadOracle) Name() string             { return o.inner.Name() }
 func (o *deadOracle) Detected(raw []byte) bool { return true }
 func (o *deadOracle) DetectedContext(context.Context, []byte) (bool, error) {
 	return false, errTransient

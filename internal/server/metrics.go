@@ -18,12 +18,14 @@ type Metrics struct {
 	ScanErrors     atomic.Int64 // scans failing for any other reason
 
 	// Scoring pipeline.
-	CacheHits    atomic.Int64
-	CacheMisses  atomic.Int64
-	Batches      atomic.Int64 // dispatcher flushes
-	BatchedRaws  atomic.Int64 // samples scored across all flushes
-	MaxBatchSize atomic.Int64 // largest coalesced batch observed
-	Coalesced    atomic.Int64 // flushes with more than one request
+	CacheHits     atomic.Int64
+	CacheMisses   atomic.Int64
+	ScansStreamed atomic.Int64 // scans served by the O(chunk) streaming path
+	StreamedBytes atomic.Int64 // total bytes fed through streaming scans
+	Batches       atomic.Int64 // dispatcher flushes
+	BatchedRaws   atomic.Int64 // samples scored across all flushes
+	MaxBatchSize  atomic.Int64 // largest coalesced batch observed
+	Coalesced     atomic.Int64 // flushes with more than one request
 
 	// Oracle traffic from resident attack jobs.
 	OracleQueries atomic.Int64
@@ -128,6 +130,9 @@ type MetricsSnapshot struct {
 	CacheHits   int64 `json:"cache_hits"`
 	CacheMisses int64 `json:"cache_misses"`
 
+	ScansStreamed int64 `json:"scans_streamed"`
+	StreamedBytes int64 `json:"streamed_bytes"`
+
 	Batches      int64   `json:"batches"`
 	BatchedRaws  int64   `json:"batched_raws"`
 	MaxBatchSize int64   `json:"max_batch_size"`
@@ -163,6 +168,8 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		AttackRejected: m.AttackRejected.Load(),
 		CacheHits:      m.CacheHits.Load(),
 		CacheMisses:    m.CacheMisses.Load(),
+		ScansStreamed:  m.ScansStreamed.Load(),
+		StreamedBytes:  m.StreamedBytes.Load(),
 		Batches:        m.Batches.Load(),
 		BatchedRaws:    m.BatchedRaws.Load(),
 		MaxBatchSize:   m.MaxBatchSize.Load(),

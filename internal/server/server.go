@@ -81,7 +81,20 @@ type Config struct {
 	AttackQueue   int // attack admission queue; full = 429 (default 64)
 
 	RequestTimeout time.Duration // per-request deadline (default 10s)
-	MaxBodyBytes   int64         // largest accepted PE upload (default 8 MiB)
+	MaxBodyBytes   int64         // largest accepted buffered PE upload (default 8 MiB)
+
+	// Streaming scan path. Uploads longer than StreamThreshold — or of
+	// unknown length — bypass the buffered batcher and feed every
+	// detector's ScoreStream chunk by chunk, so peak memory per request is
+	// O(StreamChunk) instead of O(body). Scores equal the buffered path
+	// bit for bit (detect's streaming equivalence gate). StreamThreshold
+	// defaults to 1 MiB; negative disables streaming, and it is also off
+	// when any configured detector lacks a streaming scorer or decision
+	// threshold. StreamChunk is the read size (default 256 KiB).
+	// MaxStreamBytes caps a streamed upload (default 64 MiB; beyond = 413).
+	StreamThreshold int64
+	StreamChunk     int
+	MaxStreamBytes  int64
 
 	// Job lifecycle bounds. JobDeadline caps each attack job's runtime
 	// (default 2m; negative disables). JobTTL bounds how long a finished
@@ -140,6 +153,15 @@ func (c *Config) fillDefaults() {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
 	}
+	if c.StreamThreshold == 0 {
+		c.StreamThreshold = 1 << 20
+	}
+	if c.StreamChunk <= 0 {
+		c.StreamChunk = 256 << 10
+	}
+	if c.MaxStreamBytes <= 0 {
+		c.MaxStreamBytes = 64 << 20
+	}
 	if c.JobDeadline == 0 {
 		c.JobDeadline = 2 * time.Minute
 	}
@@ -192,6 +214,11 @@ type Server struct {
 	names  []string
 	byName map[string]int
 
+	// Streaming scan path, resolved once at New: non-nil only when every
+	// detector can stream and label (Streamer + Thresholder).
+	streamers  []detect.Streamer
+	thresholds []float64
+
 	draining atomic.Bool
 	seedSeq  atomic.Int64
 	started  time.Time
@@ -220,6 +247,7 @@ func New(cfg Config) (*Server, error) {
 		s.names[i] = name
 		s.byName[name] = i
 	}
+	s.resolveStreamers()
 	s.batcher = newBatcher(cfg.Detectors, cfg.MaxBatch, cfg.ScanQueue, cfg.BatchWindow, &s.metrics)
 	s.jobs = newJobRegistry(cfg.AttackWorkers, cfg.AttackQueue,
 		cfg.JobDeadline, cfg.JobTTL, cfg.MaxJobs, cfg.DrainGrace, &s.metrics)
@@ -299,6 +327,10 @@ type scanResponse struct {
 func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	if s.streamEligible(r) {
+		s.handleScanStream(w, r)
 		return
 	}
 	raw, ok := s.readBody(w, r)

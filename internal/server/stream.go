@@ -1,0 +1,142 @@
+// Streaming scan path: uploads too large (or of unknown length) for the
+// buffered batcher pipeline feed every detector's incremental scorer chunk
+// by chunk, so a multi-gigabyte POST /v1/scan peaks at O(StreamChunk)
+// memory per request instead of O(body). Scores are bit-identical to the
+// buffered path — detect's streaming equivalence gate certifies that — so
+// the two pipelines share the SHA-256 score cache: a streamed result
+// satisfies later buffered scans of the same content and vice versa.
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"mpass/internal/detect"
+)
+
+// resolveStreamers fills s.streamers/s.thresholds when every configured
+// detector supports the streaming path; otherwise both stay nil and every
+// scan takes the buffered pipeline.
+func (s *Server) resolveStreamers() {
+	if s.cfg.StreamThreshold < 0 {
+		return
+	}
+	streamers := make([]detect.Streamer, len(s.cfg.Detectors))
+	thresholds := make([]float64, len(s.cfg.Detectors))
+	for i, d := range s.cfg.Detectors {
+		st, ok := d.(detect.Streamer)
+		if !ok {
+			return
+		}
+		th, ok := d.(detect.Thresholder)
+		if !ok {
+			return
+		}
+		streamers[i] = st
+		thresholds[i] = th.DecisionThreshold()
+	}
+	s.streamers = streamers
+	s.thresholds = thresholds
+}
+
+// streamEligible routes a scan to the streaming pipeline: streaming must be
+// resolved, and the declared body length must exceed the threshold or be
+// unknown (chunked transfer encoding reports -1).
+func (s *Server) streamEligible(r *http.Request) bool {
+	if s.streamers == nil {
+		return false
+	}
+	return r.ContentLength < 0 || r.ContentLength > s.cfg.StreamThreshold
+}
+
+// handleScanStream scores one upload through the streaming scorers. The
+// body is read once in StreamChunk-sized pieces, each fanned to the
+// SHA-256 hasher and every detector's stream; nothing retains the chunk,
+// so peak memory is the chunk buffer plus the detectors' pooled scratch.
+func (s *Server) handleScanStream(w http.ResponseWriter, r *http.Request) {
+	s.metrics.ScanRequests.Add(1)
+	start := time.Now()
+
+	streams := make([]detect.ScoreStream, len(s.streamers))
+	for i, st := range s.streamers {
+		streams[i] = st.NewStream()
+	}
+	// finish closes every stream exactly once — also on error paths, so
+	// pooled scratch buffers always return to their pools.
+	finished := false
+	finish := func() []float64 {
+		finished = true
+		scores := make([]float64, len(streams))
+		for i, st := range streams {
+			scores[i] = st.Finish()
+		}
+		return scores
+	}
+	defer func() {
+		if !finished {
+			finish()
+		}
+	}()
+
+	hasher := sha256.New()
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxStreamBytes)
+	buf := make([]byte, s.cfg.StreamChunk)
+	var total int64
+	for {
+		n, err := body.Read(buf)
+		if n > 0 {
+			total += int64(n)
+			hasher.Write(buf[:n])
+			for _, st := range streams {
+				st.Feed(buf[:n])
+			}
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				writeError(w, http.StatusRequestEntityTooLarge,
+					fmt.Sprintf("body exceeds %d bytes", tooBig.Limit))
+			} else {
+				writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
+			}
+			return
+		}
+	}
+	if total == 0 {
+		writeError(w, http.StatusBadRequest, "empty body; POST the PE bytes")
+		return
+	}
+
+	scores := finish()
+	out := scanOut{Scores: scores, Labels: make([]bool, len(scores))}
+	for i, sc := range scores {
+		out.Labels[i] = sc >= s.thresholds[i]
+	}
+	var key [32]byte
+	hasher.Sum(key[:0])
+	s.cache.put(key, out)
+
+	s.metrics.ScansStreamed.Add(1)
+	s.metrics.StreamedBytes.Add(total)
+	s.metrics.ScanLatency.Observe(time.Since(start))
+
+	resp := scanResponse{
+		SHA256: hex.EncodeToString(key[:]),
+		Size:   int(total),
+	}
+	for i, name := range s.names {
+		resp.Results = append(resp.Results, scanModelResult{
+			Model: name, Score: out.Scores[i], Malicious: out.Labels[i],
+		})
+		resp.Malicious = resp.Malicious || out.Labels[i]
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -60,6 +60,21 @@ func Dot(v, w Vec) float64 {
 	return s
 }
 
+// Add computes v += w element-wise in place. It is the row-accumulation
+// kernel of the tiled inference fast path (internal/nn), so it must stay
+// allocation free and fold strictly in index order — bit-parity between the
+// table and direct forward paths depends on that order.
+//
+//mpass:zeroalloc
+func (v Vec) Add(w Vec) {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("tensor: Add length mismatch %d vs %d", len(v), len(w)))
+	}
+	for i, x := range w {
+		v[i] += x
+	}
+}
+
 // Axpy computes w += a*v in place.
 func Axpy(a float64, v, w Vec) {
 	if len(v) != len(w) {

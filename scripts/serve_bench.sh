@@ -13,17 +13,28 @@
 set -eu
 
 mode="${1:-smoke}"
-faultflags=""
+daemonflags=""
 loadflags=""
 case "$mode" in
-	smoke) mal=24; ben=24; clients=4; requests=120; attacks=1 ;;
-	bench) mal=40; ben=40; clients=8; requests=600; attacks=0 ;;
+	smoke)
+		mal=24; ben=24; clients=4; requests=120; attacks=1
+		# Smoke also covers the quantized serving mode (int32 is the
+		# certified <= 1e-6 format) and the O(chunk) streaming scan path:
+		# a 2 MiB chunked upload that mpass-load cross-checks against the
+		# scans_streamed / streamed_bytes counters.
+		daemonflags="-quant int32"
+		loadflags="-stream-mb 2"
+		;;
+	bench)
+		mal=40; ben=40; clients=8; requests=600; attacks=0
+		loadflags="-stream-mb 4"
+		;;
 	faults)
 		mal=24; ben=24; clients=4; requests=60; attacks=3
 		# Hang rate 0.2 exercises the job deadline; error rate 0.3 the
 		# retry/breaker ladder; latency 0.3 the ctx-bounded delay path. The
 		# short -job-deadline keeps hang-struck jobs (and the drain) fast.
-		faultflags="-fault-hang 0.2 -fault-error 0.3 -fault-latency 0.3 -fault-delay 20ms -job-deadline 10s"
+		daemonflags="-fault-hang 0.2 -fault-error 0.3 -fault-latency 0.3 -fault-delay 20ms -job-deadline 10s"
 		loadflags="-faults"
 		;;
 	*) echo "usage: $0 [smoke|bench|faults]" >&2; exit 2 ;;
@@ -45,12 +56,12 @@ trap cleanup EXIT INT TERM
 go build -o "$tmp/mpassd" ./cmd/mpassd
 go build -o "$tmp/mpass-load" ./cmd/mpass-load
 
-# $faultflags is deliberately unquoted: it is a flag list, empty outside
-# faults mode.
+# $daemonflags is deliberately unquoted: it is a per-mode flag list
+# (quant serving in smoke, fault injection in faults).
 # shellcheck disable=SC2086
 "$tmp/mpassd" -addr 127.0.0.1:0 -addr-file "$tmp/addr" \
 	-models "$tmp/models.gob" -malware "$mal" -benign "$ben" \
-	-max-queries 40 -drain 30s $faultflags >&2 &
+	-max-queries 40 -drain 30s $daemonflags >&2 &
 pid=$!
 
 # The address file appears once training finished and the socket is bound.
