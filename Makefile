@@ -8,17 +8,19 @@ GO ?= go
 # retrains every eval model and takes tens of minutes).
 PARALLEL_PKGS = ./internal/parallel ./internal/tensor ./internal/nn \
                 ./internal/shapley ./internal/detect ./internal/av \
-                ./internal/server ./internal/features
+                ./internal/server ./internal/features ./internal/gateway \
+                ./internal/faultinject
 
 # BENCH_N.json names follow the PR sequence and are append-only history:
 # benchjson refuses to overwrite an existing trajectory file, so a new run
 # bumps the number (or passes FORCE_BENCH=1 to regenerate in place).
 BENCH_JSON ?= BENCH_4.json
 SERVE_BENCH_JSON ?= BENCH_5.json
+CLUSTER_BENCH_JSON ?= BENCH_6.json
 BENCHJSON_FORCE = $(if $(FORCE_BENCH),-force,)
 
 .PHONY: all build vet lint test race race-all bench bench-full bench-json \
-        quant-gate alloc serve-smoke serve-faults ci
+        quant-gate alloc serve-smoke serve-faults cluster-smoke ci
 
 all: build
 
@@ -86,10 +88,22 @@ serve-smoke:
 serve-faults:
 	sh scripts/serve_bench.sh faults
 
+# cluster-smoke boots 3 mpassd replicas behind mpass-gateway (one training
+# run, shared models.gob), compares a single-replica burst against the same
+# burst through the gateway (host-aware speedup gate — 2.5x on >= 4 CPUs,
+# a sanity bound on smaller hosts), enforces the shard-affinity checks
+# (per-replica cache-hit ratio >= 0.9, misses near the distinct-sample
+# count), and runs a replica kill drill: SIGKILL one replica and require
+# zero failed scans while the ring re-shards. Writes $(CLUSTER_BENCH_JSON)
+# on first run.
+cluster-smoke:
+	CLUSTER_BENCH_JSON=$(CLUSTER_BENCH_JSON) FORCE_BENCH=$(FORCE_BENCH) \
+		sh scripts/serve_cluster.sh smoke
+
 # alloc is the allocation-regression gate: the scoring and gradient hot
 # paths — float, quantized, and streaming — must stay zero-allocation in
 # steady state.
 alloc:
 	$(GO) test -run 'ZeroAlloc' -count=1 ./internal/nn
 
-ci: build vet lint test race alloc bench quant-gate serve-smoke serve-faults
+ci: build vet lint test race alloc bench quant-gate serve-smoke serve-faults cluster-smoke

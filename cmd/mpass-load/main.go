@@ -15,6 +15,17 @@
 // attack jobs are expected and reported alongside the retry/breaker/
 // cancellation counters, but a job stuck outside a terminal state is still
 // fatal — the lifecycle hardening must bound every job, faults or not.
+//
+// Cluster runs (`make cluster-smoke`): -targets takes a comma-separated
+// address list and stripes the burst across them round-robin, reporting
+// per-target and aggregate throughput. -cluster marks the (single) target
+// as an mpass-gateway and turns on the shard-affinity checks: the run's
+// per-replica cache-hit ratio — computed from /metrics deltas, so earlier
+// traffic does not launder the numbers — must reach -min-hit-ratio, and
+// fleet-wide misses must stay near the distinct-sample count (each sample
+// warms exactly one shard). -bench-name renames the benchmark line so one
+// driver emits comparable BenchmarkClusterSingle/BenchmarkClusterGateway
+// series for benchjson -gate.
 package main
 
 import (
@@ -27,6 +38,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -39,6 +51,10 @@ func main() {
 	log.SetPrefix("mpass-load: ")
 
 	addr := flag.String("addr", "127.0.0.1:8877", "mpassd address (host:port)")
+	targets := flag.String("targets", "", "comma-separated addresses; the burst is striped across them round-robin (overrides -addr)")
+	cluster := flag.Bool("cluster", false, "target is an mpass-gateway: read the cluster /metrics document and enforce the shard-affinity checks")
+	minHitRatio := flag.Float64("min-hit-ratio", 0.9, "with -cluster: minimum per-replica cache-hit ratio over this run")
+	benchName := flag.String("bench-name", "ServeScan", "benchmark line name (printed as Benchmark<name>)")
 	clients := flag.Int("clients", 8, "concurrent scan clients")
 	requests := flag.Int("requests", 400, "total scan requests")
 	samples := flag.Int("samples", 32, "distinct samples in the request pool (repeats exercise the cache)")
@@ -51,10 +67,41 @@ func main() {
 	if *clients < 1 || *requests < 1 || *samples < 1 {
 		log.Fatal("clients, requests, and samples must all be >= 1")
 	}
-	base := "http://" + *addr
+	addrs := []string{*addr}
+	if *targets != "" {
+		addrs = addrs[:0]
+		for _, t := range strings.Split(*targets, ",") {
+			if t = strings.TrimSpace(t); t != "" {
+				addrs = append(addrs, t)
+			}
+		}
+		if len(addrs) == 0 {
+			log.Fatal("-targets given but empty")
+		}
+	}
+	if *cluster && len(addrs) != 1 {
+		log.Fatal("-cluster checks a single gateway target; use -targets for striping across plain replicas")
+	}
+	bases := make([]string, len(addrs))
+	for i, a := range addrs {
+		bases[i] = "http://" + a
+	}
+	base := bases[0]
 
-	if err := waitHealthy(base, *wait); err != nil {
-		log.Fatal(err)
+	for _, b := range bases {
+		if err := waitHealthy(b, *wait); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Cluster runs judge cache affinity on this run alone: snapshot the
+	// fleet counters before the burst and diff afterwards.
+	var pre *clusterDoc
+	if *cluster {
+		var err error
+		if pre, err = fetchClusterMetrics(base); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	// The pool mixes malware and benign PEs from the same generator family
@@ -71,13 +118,15 @@ func main() {
 
 	// The client burst is exactly the pool layer's shape: -clients workers
 	// draining a shared request counter, each request writing its own
-	// latency slot.
+	// latency slot. Request i goes to target i%len(bases), so a multi-target
+	// run stripes the same sample mix across the whole list.
 	lat := make([]time.Duration, *requests)
+	perOK := make([]atomic.Int64, len(bases))
 	var ok, shed, failed atomic.Int64
 	start := time.Now()
 	parallel.ForEach(*clients, *requests, func(i int) {
 		t0 := time.Now()
-		status, err := postScan(base, pool[i%len(pool)])
+		status, err := postScan(bases[i%len(bases)], pool[i%len(pool)])
 		lat[i] = time.Since(t0)
 		switch {
 		case err != nil || status >= 500:
@@ -86,6 +135,7 @@ func main() {
 			shed.Add(1)
 		case status == http.StatusOK:
 			ok.Add(1)
+			perOK[i%len(bases)].Add(1)
 		default:
 			failed.Add(1)
 		}
@@ -118,9 +168,25 @@ func main() {
 		}
 	}
 
-	snap, err := fetchMetrics(base)
-	if err != nil {
-		log.Fatal(err)
+	var snap *metricsDoc
+	var post *clusterDoc
+	if *cluster {
+		var err error
+		if post, err = fetchClusterMetrics(base); err != nil {
+			log.Fatal(err)
+		}
+		snap = &post.Cluster
+	} else {
+		// Sum the per-target snapshots so the cross-check below covers a
+		// striped multi-target run too.
+		snap = &metricsDoc{}
+		for _, b := range bases {
+			m, err := fetchMetrics(b)
+			if err != nil {
+				log.Fatal(err)
+			}
+			addMetrics(snap, m)
+		}
 	}
 	if got := snap.ScanRequests; got < int64(*requests) {
 		log.Fatalf("/metrics scan_requests = %d, expected >= %d", got, *requests)
@@ -150,15 +216,32 @@ func main() {
 		"%d scans in %v (%d ok, %d shed) · %.0f req/s · p50 %v p99 %v\n",
 		*requests, elapsed.Round(time.Millisecond), ok.Load(), shed.Load(), rps,
 		p50.Round(time.Microsecond), p99.Round(time.Microsecond))
+	if len(bases) > 1 {
+		// Per-target split of the same wall clock: the aggregate above is
+		// the fleet number, these are each member's share of it.
+		for i, a := range addrs {
+			n := perOK[i].Load()
+			fmt.Fprintf(os.Stderr, "  target %s: %d ok · %.0f req/s\n",
+				a, n, float64(n)/elapsed.Seconds())
+		}
+	}
 	fmt.Fprintf(os.Stderr,
 		"server: %d batches (mean %.2f, max %d, %d coalesced) · %d cache hits · %d attack jobs done\n",
 		snap.Batches, snap.MeanBatch, snap.MaxBatchSize, snap.Coalesced, snap.CacheHits, attacksDone)
 
+	// With -cluster, enforce the shard-affinity contract on this run's
+	// /metrics deltas and carry the ratio into the benchmark line.
+	extra := ""
+	if *cluster {
+		hitRatio := checkCluster(pre, post, int64(*samples), *minHitRatio)
+		extra = fmt.Sprintf(" %.3f hit-ratio %d replicas", hitRatio, len(post.Replicas))
+	}
+
 	// One benchmark line per run; extra (value, unit) pairs become benchjson
 	// custom metrics.
-	fmt.Printf("BenchmarkServeScan %d %.0f ns/op %.1f req/s %d p50-ns %d p99-ns %.0f shed %.0f cache-hits %.2f mean-batch\n",
-		*requests, nsPerOp, rps, p50.Nanoseconds(), p99.Nanoseconds(),
-		float64(shed.Load()), float64(snap.CacheHits), snap.MeanBatch)
+	fmt.Printf("Benchmark%s %d %.0f ns/op %.1f req/s %d p50-ns %d p99-ns %.0f shed %.0f cache-hits %.2f mean-batch%s\n",
+		*benchName, *requests, nsPerOp, rps, p50.Nanoseconds(), p99.Nanoseconds(),
+		float64(shed.Load()), float64(snap.CacheHits), snap.MeanBatch, extra)
 
 	if *faults {
 		terminal := attacksDone + attacksFailed
@@ -323,6 +406,7 @@ type metricsDoc struct {
 	MaxBatchSize int64   `json:"max_batch_size"`
 	Coalesced    int64   `json:"coalesced_batches"`
 	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
 
 	// Streaming scan path.
 	ScansStreamed int64 `json:"scans_streamed"`
@@ -349,6 +433,121 @@ func fetchMetrics(base string) (*metricsDoc, error) {
 		return nil, fmt.Errorf("decoding /metrics: %w", err)
 	}
 	return &m, nil
+}
+
+// addMetrics accumulates the fields the cross-checks read.
+func addMetrics(dst, src *metricsDoc) {
+	dst.ScanRequests += src.ScanRequests
+	dst.Batches += src.Batches
+	dst.Coalesced += src.Coalesced
+	dst.CacheHits += src.CacheHits
+	dst.CacheMisses += src.CacheMisses
+	dst.ScansStreamed += src.ScansStreamed
+	dst.StreamedBytes += src.StreamedBytes
+	if src.MaxBatchSize > dst.MaxBatchSize {
+		dst.MaxBatchSize = src.MaxBatchSize
+	}
+	if dst.Batches > 0 {
+		dst.MeanBatch = (dst.MeanBatch*float64(dst.Batches-src.Batches) +
+			src.MeanBatch*float64(src.Batches)) / float64(dst.Batches)
+	}
+	dst.OracleQueries += src.OracleQueries
+	dst.OracleRetries += src.OracleRetries
+	dst.OracleBreaks += src.OracleBreaks
+	dst.JobsEvicted += src.JobsEvicted
+	dst.JobsCancelled += src.JobsCancelled
+	dst.JobsRegistry += src.JobsRegistry
+	dst.JobsRegistryCap += src.JobsRegistryCap
+}
+
+// clusterDoc is the slice of mpass-gateway's /metrics the tool reads: the
+// fleet sum in the same shape as a single replica plus the per-replica
+// snapshots the affinity checks diff.
+type clusterDoc struct {
+	Cluster metricsDoc `json:"cluster"`
+	Gateway struct {
+		ScansRouted int64 `json:"scans_routed"`
+		ScanRetries int64 `json:"scan_retries"`
+		ScansFailed int64 `json:"scans_failed"`
+	} `json:"gateway"`
+	Replicas []struct {
+		Name    string      `json:"name"`
+		Healthy bool        `json:"healthy"`
+		Metrics *metricsDoc `json:"metrics"`
+	} `json:"replicas"`
+}
+
+func fetchClusterMetrics(base string) (*clusterDoc, error) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var doc clusterDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("decoding cluster /metrics: %w", err)
+	}
+	if len(doc.Replicas) == 0 {
+		return nil, fmt.Errorf("cluster /metrics lists no replicas — is the target really an mpass-gateway?")
+	}
+	return &doc, nil
+}
+
+// checkCluster enforces the shard-affinity contract on this run's deltas
+// and returns the fleet-wide cache-hit ratio. Two properties must hold
+// under consistent-hash routing of a repeating sample pool:
+//
+//   - per replica, hits/(hits+misses) >= minHit: repeats of a sample keep
+//     landing on the shard that already scored it;
+//   - fleet-wide misses stay within 2x the distinct-sample count: each
+//     sample cold-misses on exactly its home replica, with slack only for
+//     a re-shard mid-run (retried keys warm a second shard).
+//
+// A broken ring degrades both: keys wander, every replica cold-misses the
+// whole pool, and the ratio collapses toward 1/replicas of the ideal.
+func checkCluster(pre, post *clusterDoc, samples int64, minHit float64) float64 {
+	preHits := map[string][2]int64{}
+	for _, r := range pre.Replicas {
+		if r.Metrics != nil {
+			preHits[r.Name] = [2]int64{r.Metrics.CacheHits, r.Metrics.CacheMisses}
+		}
+	}
+	var fleetHits, fleetMisses int64
+	for _, r := range post.Replicas {
+		if r.Metrics == nil {
+			// A replica the gateway has marked down is allowed to be
+			// unreachable — that is the kill drill. A replica claimed
+			// healthy but not answering /metrics is a real failure.
+			if r.Healthy {
+				log.Fatalf("cluster check: healthy replica %s unreachable for /metrics", r.Name)
+			}
+			fmt.Fprintf(os.Stderr, "  replica %s: down, excluded from affinity check\n", r.Name)
+			continue
+		}
+		base := preHits[r.Name]
+		hits := r.Metrics.CacheHits - base[0]
+		misses := r.Metrics.CacheMisses - base[1]
+		fleetHits += hits
+		fleetMisses += misses
+		if hits+misses == 0 {
+			continue // owned no sampled keys this run
+		}
+		ratio := float64(hits) / float64(hits+misses)
+		fmt.Fprintf(os.Stderr, "  replica %s: %d hits / %d misses · hit ratio %.3f\n",
+			r.Name, hits, misses, ratio)
+		if ratio < minHit {
+			log.Fatalf("cluster check: replica %s cache-hit ratio %.3f < %.3f — shard affinity broken",
+				r.Name, ratio, minHit)
+		}
+	}
+	if fleetMisses > 2*samples {
+		log.Fatalf("cluster check: %d fleet-wide cache misses for %d distinct samples — keys are wandering across shards",
+			fleetMisses, samples)
+	}
+	if fleetHits+fleetMisses == 0 {
+		log.Fatal("cluster check: no cache traffic recorded during the run")
+	}
+	return float64(fleetHits) / float64(fleetHits+fleetMisses)
 }
 
 // quantile reads the q-th quantile from an ascending latency slice.

@@ -138,6 +138,23 @@ func TestRealTreeClean(t *testing.T) {
 	t.Logf("linted %d packages in %v", len(pkgs), time.Since(start))
 }
 
+// TestGatewayInScope pins the PR 7 scope extension: the gateway is a
+// serving tier, so the serving-path invariants (bounded sends, context
+// threading) must cover it. A refactor that drops internal/gateway from
+// these lists silently un-lints the front door.
+func TestGatewayInScope(t *testing.T) {
+	const gw = "mpass/internal/gateway"
+	if !pathWithinAny(gw, boundedQueuePackages) {
+		t.Errorf("boundedqueue does not cover %s", gw)
+	}
+	if !pathWithinAny(gw, ctxflowPackages) {
+		t.Errorf("ctxflow does not cover %s", gw)
+	}
+	if pathWithinAny(gw, goroutineOwners) {
+		t.Errorf("nakedgo exempts %s: the gateway must use internal/parallel, not own goroutines", gw)
+	}
+}
+
 func TestByName(t *testing.T) {
 	as, err := ByName("nakedgo, zeroalloc")
 	if err != nil {

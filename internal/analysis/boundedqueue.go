@@ -2,22 +2,31 @@ package analysis
 
 import "go/ast"
 
-// BoundedQueue flags bare channel sends in internal/server.
+// boundedQueuePackages are the request-serving tiers: the replica server
+// and the gateway in front of it. Both sit between an HTTP caller and a
+// queue, so both owe the caller an explicit shed instead of a silent block.
+var boundedQueuePackages = []string{
+	"internal/server",
+	"internal/gateway",
+}
+
+// BoundedQueue flags bare channel sends in the serving tiers.
 //
-// Invariant (PR 3): every send on a serving-path channel is either a
-// select-with-default (admission control sheds with 429 when the queue is
-// full) or a select bounded by ctx.Done (admitted work applies
-// backpressure but honors the caller's deadline, the ScoreWait pattern). A
-// bare `ch <- v` can block a request handler forever and turns a full
-// queue into unbounded goroutine pileup instead of explicit load shedding.
+// Invariant (PR 3, extended to the gateway in PR 7): every send on a
+// serving-path channel is either a select-with-default (admission control
+// sheds with 429 when the queue is full) or a select bounded by ctx.Done
+// (admitted work applies backpressure but honors the caller's deadline,
+// the ScoreWait pattern). A bare `ch <- v` can block a request handler
+// forever and turns a full queue into unbounded goroutine pileup instead
+// of explicit load shedding.
 var BoundedQueue = &Analyzer{
 	Name: "boundedqueue",
-	Doc:  "channel sends in internal/server must shed (select+default) or bound the wait (ctx.Done case)",
+	Doc:  "channel sends in internal/server and internal/gateway must shed (select+default) or bound the wait (ctx.Done case)",
 	Run:  runBoundedQueue,
 }
 
 func runBoundedQueue(p *Pass) {
-	if !pathWithin(p.Pkg.PkgPath, "internal/server") {
+	if !pathWithinAny(p.Pkg.PkgPath, boundedQueuePackages) {
 		return
 	}
 	// escorted holds sends that appear as the comm statement of a select

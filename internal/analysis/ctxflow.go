@@ -12,6 +12,7 @@ import (
 // wall-clock reads there.
 var ctxflowPackages = []string{
 	"internal/server",
+	"internal/gateway",
 	"internal/parallel",
 	"internal/faultinject",
 }

@@ -1,0 +1,99 @@
+// HTTP-layer fault injection: the gateway's analog of the oracle wrapper.
+// Where Wrap degrades a core.Oracle for attack-job drills, Transport
+// degrades an http.RoundTripper for cluster drills — dropped connections
+// and added latency between a gateway and its replicas — with the same
+// determinism contract: a fixed number of uniform draws per request from a
+// seeded stream, so the fault sequence is a function of the request index
+// alone and changing one rate never reshuffles the other faults.
+package faultinject
+
+import (
+	"errors"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjectedTransport is the connection-level failure Transport raises;
+// to the gateway it is indistinguishable from a replica dying mid-request.
+var ErrInjectedTransport = errors.New("faultinject: injected transport error")
+
+// TransportConfig sets per-request fault probabilities. Rates are in
+// [0, 1]; a zero-valued config injects nothing.
+type TransportConfig struct {
+	// Seed drives the fault decision stream.
+	Seed int64
+	// ErrorRate is the probability a request fails with
+	// ErrInjectedTransport before reaching the wire.
+	ErrorRate float64
+	// LatencyRate is the probability a request is delayed by Latency
+	// before being forwarded (bounded by the request's context).
+	LatencyRate float64
+	// Latency is the injected delay magnitude.
+	Latency time.Duration
+}
+
+// Transport is the fault-injecting RoundTripper. Two uniform draws per
+// request — error, latency, in that order — regardless of rates.
+type Transport struct {
+	inner http.RoundTripper
+	cfg   TransportConfig
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	requests atomic.Int64
+	errs     atomic.Int64
+	delays   atomic.Int64
+}
+
+// WrapTransport builds the fault-injecting transport around inner
+// (http.DefaultTransport when nil).
+func WrapTransport(inner http.RoundTripper, cfg TransportConfig) *Transport {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &Transport{inner: inner, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// TransportStats counts what was actually injected.
+type TransportStats struct {
+	Requests int64 // requests seen
+	Errors   int64 // requests failed with ErrInjectedTransport
+	Delays   int64 // requests delayed by cfg.Latency
+}
+
+// Stats snapshots the injection counters.
+func (t *Transport) Stats() TransportStats {
+	return TransportStats{
+		Requests: t.requests.Load(),
+		Errors:   t.errs.Load(),
+		Delays:   t.delays.Load(),
+	}
+}
+
+// RoundTrip implements http.RoundTripper: it injects the drawn faults and
+// otherwise forwards the request unchanged.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.requests.Add(1)
+	t.mu.Lock()
+	ue, ul := t.rng.Float64(), t.rng.Float64()
+	t.mu.Unlock()
+	if ue < t.cfg.ErrorRate {
+		t.errs.Add(1)
+		return nil, ErrInjectedTransport
+	}
+	if ul < t.cfg.LatencyRate && t.cfg.Latency > 0 {
+		t.delays.Add(1)
+		timer := time.NewTimer(t.cfg.Latency)
+		select {
+		case <-timer.C:
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, req.Context().Err()
+		}
+	}
+	return t.inner.RoundTrip(req)
+}

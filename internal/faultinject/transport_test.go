@@ -1,0 +1,100 @@
+package faultinject
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// doGet issues one GET through the transport.
+func doGet(t *testing.T, client *http.Client, url string) (*http.Response, error) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return client.Do(req)
+}
+
+// TestTransportDeterministic pins the determinism contract: equal seeds
+// yield the identical error sequence, and the zero config injects nothing.
+func TestTransportDeterministic(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	sequence := func(seed int64) []bool {
+		tr := WrapTransport(nil, TransportConfig{Seed: seed, ErrorRate: 0.4})
+		client := &http.Client{Transport: tr}
+		var outcomes []bool
+		for i := 0; i < 40; i++ {
+			resp, err := doGet(t, client, ts.URL)
+			outcomes = append(outcomes, err != nil)
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+		return outcomes
+	}
+
+	a, b := sequence(7), sequence(7)
+	errs := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault sequences diverge at request %d for equal seeds", i)
+		}
+		if a[i] {
+			errs++
+		}
+	}
+	if errs == 0 || errs == len(a) {
+		t.Fatalf("error rate 0.4 injected %d/%d failures, want a mix", errs, len(a))
+	}
+
+	// Zero config: transparent.
+	tr := WrapTransport(nil, TransportConfig{Seed: 1})
+	client := &http.Client{Transport: tr}
+	for i := 0; i < 10; i++ {
+		resp, err := doGet(t, client, ts.URL)
+		if err != nil {
+			t.Fatalf("zero-config transport injected a fault: %v", err)
+		}
+		resp.Body.Close()
+	}
+	if s := tr.Stats(); s.Requests != 10 || s.Errors != 0 || s.Delays != 0 {
+		t.Fatalf("zero-config stats = %+v", s)
+	}
+}
+
+// TestTransportLatencyBoundedByContext: an injected delay must observe the
+// request context instead of holding the caller hostage.
+func TestTransportLatencyBoundedByContext(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	tr := WrapTransport(nil, TransportConfig{Seed: 1, LatencyRate: 1, Latency: time.Minute})
+	client := &http.Client{Transport: tr}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := client.Do(req); err == nil {
+		t.Fatal("expected the delayed request to fail with the expired context")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("delay ignored the context: took %v", elapsed)
+	}
+	if s := tr.Stats(); s.Delays != 1 {
+		t.Fatalf("stats = %+v, want 1 delay", s)
+	}
+}

@@ -1,0 +1,97 @@
+// Package gateway is the scale-out front tier over a fleet of mpassd
+// replicas: one stdlib-only HTTP process that consistent-hashes scan
+// traffic by content SHA-256 (so each replica's LRU score cache stays hot
+// for its shard of the keyspace), places attack jobs on the least-loaded
+// healthy replica under a cluster-wide job-ID namespace, health-checks the
+// fleet on a jittered interval, re-shards on replica loss with a
+// retry-once guarantee for in-flight requests, aggregates /metrics across
+// replicas, and derives cluster-level 429/Retry-After from summed replica
+// backlogs. Black-box attacks are oracle-query-bound (Demetrio et al.,
+// GAMMA), so aggregate cluster throughput — not single-node latency — is
+// what bounds attack-evaluation speed; this package is where that
+// aggregate comes from.
+package gateway
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// ring is an immutable consistent-hash ring over replica indices. Each
+// replica contributes vnodes points, placed by SHA-256 of
+// "replicaName#vnode"; a key (the leading 8 bytes of the content SHA-256)
+// is owned by the first point clockwise. Immutability is the concurrency
+// story: lookups read a snapshot through an atomic pointer, rebuilds
+// publish a fresh ring, and no lock sits on the request path.
+type ring struct {
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash    uint64
+	replica int // index into the gateway's replica table
+}
+
+// buildRing places vnodes points per member. members holds replica table
+// indices (the healthy set); names their stable identities — points derive
+// from the name, never the index, so membership changes move only the
+// departed replica's arcs (the consistent-hashing contract the ring tests
+// pin: non-owned keys never move).
+func buildRing(members []int, names []string, vnodes int) *ring {
+	r := &ring{points: make([]ringPoint, 0, len(members)*vnodes)}
+	for _, m := range members {
+		name := names[m]
+		for v := 0; v < vnodes; v++ {
+			sum := sha256.Sum256([]byte(name + "#" + strconv.Itoa(v)))
+			r.points = append(r.points, ringPoint{
+				hash:    binary.BigEndian.Uint64(sum[:8]),
+				replica: m,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (vanishingly rare) break by replica index so the ring
+		// is a deterministic function of the member set.
+		return r.points[i].replica < r.points[j].replica
+	})
+	return r
+}
+
+// keyOf reduces a content digest to its ring position.
+func keyOf(sum [32]byte) uint64 { return binary.BigEndian.Uint64(sum[:8]) }
+
+// owner returns the replica owning key, or -1 on an empty ring.
+func (r *ring) owner(key uint64) int {
+	if len(r.points) == 0 {
+		return -1
+	}
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	if i == len(r.points) {
+		i = 0 // wrap: the first point owns the top arc
+	}
+	return r.points[i].replica
+}
+
+// ownerExcluding returns the key's owner when exclude is removed from the
+// ring — the retry target after the primary owner fails mid-request. It
+// walks clockwise from the key past every point of the excluded replica,
+// which is exactly where the key lands after the rebuild, so the retried
+// request warms the cache shard that will keep serving this content.
+func (r *ring) ownerExcluding(key uint64, exclude int) int {
+	if len(r.points) == 0 {
+		return -1
+	}
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	for n := 0; n < len(r.points); n++ {
+		p := r.points[(i+n)%len(r.points)]
+		if p.replica != exclude {
+			return p.replica
+		}
+	}
+	return -1
+}

@@ -1,0 +1,147 @@
+package gateway
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"testing"
+)
+
+// testKeys derives nKeys deterministic ring keys (hashes of a counter), the
+// same key population for every property below.
+func testKeys(n int) []uint64 {
+	keys := make([]uint64, n)
+	var buf [8]byte
+	for i := range keys {
+		binary.BigEndian.PutUint64(buf[:], uint64(i))
+		sum := sha256.Sum256(buf[:])
+		keys[i] = keyOf(sum)
+	}
+	return keys
+}
+
+func fleetNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = "10.0.0." + string(rune('1'+i)) + ":8877"
+	}
+	return names
+}
+
+func members(n int) []int {
+	m := make([]int, n)
+	for i := range m {
+		m[i] = i
+	}
+	return m
+}
+
+// TestRingDeterministicPlacement: the ring is a pure function of the
+// member set — two builds place every key identically.
+func TestRingDeterministicPlacement(t *testing.T) {
+	names := fleetNames(4)
+	a := buildRing(members(4), names, 128)
+	b := buildRing(members(4), names, 128)
+	for _, k := range testKeys(10000) {
+		if a.owner(k) != b.owner(k) {
+			t.Fatalf("key %x: owners differ across identical builds", k)
+		}
+	}
+}
+
+// TestRingBalance: with 128 vnodes the shard sizes are within a sane band
+// of the fair share — no replica starves or hoards.
+func TestRingBalance(t *testing.T) {
+	const n, nKeys = 4, 20000
+	r := buildRing(members(n), fleetNames(n), 128)
+	counts := make([]int, n)
+	for _, k := range testKeys(nKeys) {
+		counts[r.owner(k)]++
+	}
+	fair := nKeys / n
+	for i, c := range counts {
+		if c < fair/2 || c > fair*2 {
+			t.Fatalf("replica %d owns %d of %d keys (fair share %d): ring badly unbalanced %v",
+				i, c, nKeys, fair, counts)
+		}
+	}
+}
+
+// TestRingMovementBound is the consistent-hashing contract: when one of N
+// replicas leaves, (a) keys it did not own keep their owner exactly, and
+// (b) the moved fraction — precisely its former share — stays within
+// 1/N + ε of the fair share.
+func TestRingMovementBound(t *testing.T) {
+	const n = 4
+	const nKeys = 20000
+	const epsilon = 0.08
+	names := fleetNames(n)
+	full := buildRing(members(n), names, 128)
+
+	for removed := 0; removed < n; removed++ {
+		var rest []int
+		for i := 0; i < n; i++ {
+			if i != removed {
+				rest = append(rest, i)
+			}
+		}
+		reduced := buildRing(rest, names, 128)
+		moved := 0
+		for _, k := range testKeys(nKeys) {
+			before, after := full.owner(k), reduced.owner(k)
+			if before != removed && before != after {
+				t.Fatalf("removing replica %d moved key %x from surviving replica %d to %d",
+					removed, k, before, after)
+			}
+			if before == removed {
+				moved++
+			}
+		}
+		if frac := float64(moved) / nKeys; frac > 1.0/n+epsilon {
+			t.Fatalf("removing replica %d moved %.3f of the keyspace, want <= 1/%d + %.2f",
+				removed, frac, n, epsilon)
+		}
+	}
+}
+
+// TestRingOwnerExcludingMatchesRebuild: the retry target (walk past the
+// failed owner on the old ring) is exactly the owner on the rebuilt ring —
+// so a retried request lands on, and warms, the shard that keeps serving
+// the key after convergence.
+func TestRingOwnerExcludingMatchesRebuild(t *testing.T) {
+	const n = 4
+	names := fleetNames(n)
+	full := buildRing(members(n), names, 128)
+	for removed := 0; removed < n; removed++ {
+		var rest []int
+		for i := 0; i < n; i++ {
+			if i != removed {
+				rest = append(rest, i)
+			}
+		}
+		reduced := buildRing(rest, names, 128)
+		for _, k := range testKeys(5000) {
+			if got, want := full.ownerExcluding(k, removed), reduced.owner(k); got != want {
+				t.Fatalf("key %x excluding %d: ownerExcluding=%d, rebuilt ring owner=%d",
+					k, removed, got, want)
+			}
+		}
+	}
+}
+
+// TestRingEmptyAndSingle: edge cases — the empty ring owns nothing, a
+// single member owns everything.
+func TestRingEmptyAndSingle(t *testing.T) {
+	empty := buildRing(nil, nil, 128)
+	if got := empty.owner(42); got != -1 {
+		t.Fatalf("empty ring owner = %d, want -1", got)
+	}
+	solo := buildRing([]int{2}, fleetNames(3), 128)
+	for _, k := range testKeys(100) {
+		if got := solo.owner(k); got != 2 {
+			t.Fatalf("single-member ring owner = %d, want 2", got)
+		}
+	}
+	if got := solo.ownerExcluding(42, 2); got != -1 {
+		t.Fatalf("ownerExcluding the only member = %d, want -1", got)
+	}
+}

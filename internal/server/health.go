@@ -1,0 +1,83 @@
+// Enriched health endpoint: GET /healthz answers a machine-readable
+// HealthStatus so a fronting gateway can do more than liveness-probe — the
+// document carries the model version (replica-set consistency checks), the
+// drain state, and live queue depths (the least-loaded job-placement
+// signal). The original bare contract is preserved exactly: 200 while
+// serving, 503 while draining, so probes that only look at the status code
+// keep working unchanged.
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// HealthStatus is the GET /healthz response document. internal/gateway
+// decodes the same type, so the two sides cannot drift apart silently.
+type HealthStatus struct {
+	// Status is "ok" while serving and "draining" once shutdown begins
+	// (the response code mirrors it: 200 vs 503).
+	Status string `json:"status"`
+	// Models lists the resident detectors in scan-response order.
+	Models []string `json:"models"`
+	// ModelVersion identifies the resident weight set (Config.ModelVersion,
+	// or a digest of the model names when unset). Replicas in one fleet
+	// should agree; the gateway surfaces mismatches.
+	ModelVersion string  `json:"model_version"`
+	Draining     bool    `json:"draining"`
+	UptimeS      float64 `json:"uptime_s"`
+
+	// Queue depths — the load signal a gateway's least-loaded picker and
+	// cluster backpressure estimator consume.
+	ScanQueue    int `json:"scan_queue"`     // scans waiting for the dispatcher
+	ScanQueueCap int `json:"scan_queue_cap"` // admission bound (429 beyond)
+	JobsQueued   int `json:"jobs_queued"`    // attack jobs waiting for a worker
+	JobsPending  int `json:"jobs_pending"`   // attack jobs queued + running
+	JobsCap      int `json:"jobs_cap"`       // attack admission bound
+	JobsRegistry int `json:"jobs_registry"`  // live + retained finished jobs
+}
+
+// modelVersion resolves the advertised model version: the configured one,
+// or a stable digest of the detector names so even an unconfigured replica
+// advertises something comparable across a fleet.
+func (s *Server) modelVersion() string {
+	if s.cfg.ModelVersion != "" {
+		return s.cfg.ModelVersion
+	}
+	sum := sha256.Sum256([]byte(strings.Join(s.names, "\x00")))
+	return "models-" + hex.EncodeToString(sum[:8])
+}
+
+// health snapshots the serving state for /healthz.
+func (s *Server) health() HealthStatus {
+	draining := s.draining.Load()
+	status := "ok"
+	if draining {
+		status = "draining"
+	}
+	return HealthStatus{
+		Status:       status,
+		Models:       s.names,
+		ModelVersion: s.modelVersion(),
+		Draining:     draining,
+		UptimeS:      time.Since(s.started).Seconds(),
+		ScanQueue:    len(s.batcher.reqs),
+		ScanQueueCap: s.cfg.ScanQueue,
+		JobsQueued:   s.jobs.pool.Queued(),
+		JobsPending:  s.jobs.pool.Pending(),
+		JobsCap:      s.cfg.AttackQueue,
+		JobsRegistry: s.jobs.size(),
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := s.health()
+	code := http.StatusOK
+	if h.Draining {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}

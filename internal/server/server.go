@@ -72,6 +72,11 @@ type Config struct {
 	// attack endpoints (501).
 	Attack AttackFunc
 
+	// ModelVersion identifies the resident weight set on /healthz (e.g. a
+	// digest of the model file). Empty derives a stable digest of the
+	// detector names, so fleet-consistency checks work even unconfigured.
+	ModelVersion string
+
 	MaxBatch    int           // max requests per coalesced batch (default 32)
 	BatchWindow time.Duration // flush window after the first request (default 2ms)
 	ScanQueue   int           // scan admission queue; full = 429 (default 256)
@@ -467,18 +472,6 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, v)
-}
-
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":   "ok",
-		"models":   s.names,
-		"uptime_s": time.Since(s.started).Seconds(),
-	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
