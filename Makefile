@@ -9,7 +9,7 @@ GO ?= go
 PARALLEL_PKGS = ./internal/parallel ./internal/tensor ./internal/nn \
                 ./internal/shapley ./internal/detect ./internal/av \
                 ./internal/server ./internal/features ./internal/gateway \
-                ./internal/faultinject
+                ./internal/faultinject ./internal/engine
 
 # BENCH_N.json names follow the PR sequence and are append-only history:
 # benchjson refuses to overwrite an existing trajectory file, so a new run
@@ -17,10 +17,11 @@ PARALLEL_PKGS = ./internal/parallel ./internal/tensor ./internal/nn \
 BENCH_JSON ?= BENCH_4.json
 SERVE_BENCH_JSON ?= BENCH_5.json
 CLUSTER_BENCH_JSON ?= BENCH_6.json
+RELOAD_BENCH_JSON ?= BENCH_7.json
 BENCHJSON_FORCE = $(if $(FORCE_BENCH),-force,)
 
 .PHONY: all build vet lint test race race-all bench bench-full bench-json \
-        quant-gate alloc serve-smoke serve-faults cluster-smoke ci
+        quant-gate alloc serve-smoke serve-faults reload-smoke cluster-smoke ci
 
 all: build
 
@@ -88,6 +89,17 @@ serve-smoke:
 serve-faults:
 	sh scripts/serve_bench.sh faults
 
+# reload-smoke is the zero-downtime hot-reload drill: mpassd persists its
+# engines as a per-engine envelope directory, then mpass-load -reload swaps
+# model generations from inside a sustained scan burst — every swap must
+# certify (health, finite probes, int32 quant parity) and land, every scan
+# response must carry a generation the server really served, and /healthz
+# and /metrics must agree with the last swap. Writes $(RELOAD_BENCH_JSON)
+# on first run (append-only; FORCE_BENCH=1 regenerates).
+reload-smoke:
+	sh scripts/serve_bench.sh reload | $(GO) run ./cmd/benchjson \
+		$(BENCHJSON_FORCE) -out $(RELOAD_BENCH_JSON)
+
 # cluster-smoke boots 3 mpassd replicas behind mpass-gateway (one training
 # run, shared models.gob), compares a single-replica burst against the same
 # burst through the gateway (host-aware speedup gate — 2.5x on >= 4 CPUs,
@@ -106,4 +118,4 @@ cluster-smoke:
 alloc:
 	$(GO) test -run 'ZeroAlloc' -count=1 ./internal/nn
 
-ci: build vet lint test race alloc bench quant-gate serve-smoke serve-faults cluster-smoke
+ci: build vet lint test race alloc bench quant-gate serve-smoke serve-faults reload-smoke cluster-smoke

@@ -16,6 +16,13 @@
 // cancellation counters, but a job stuck outside a terminal state is still
 // fatal — the lifecycle hardening must bound every job, faults or not.
 //
+// Reload runs (`make reload-smoke`): -reload N interleaves N POSTs to
+// /v1/models/reload through the scan burst, so generations swap under
+// sustained traffic. Every reload must swap cleanly (200, swapped=true),
+// every scan must still succeed, each scan response must carry a model
+// version the server actually served, and /healthz must agree with the last
+// swap afterwards — the zero-downtime drill as a repeatable probe.
+//
 // Cluster runs (`make cluster-smoke`): -targets takes a comma-separated
 // address list and stripes the burst across them round-robin, reporting
 // per-target and aggregate throughput. -cluster marks the (single) target
@@ -39,6 +46,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -60,6 +68,7 @@ func main() {
 	samples := flag.Int("samples", 32, "distinct samples in the request pool (repeats exercise the cache)")
 	attacks := flag.Int("attacks", 0, "attack jobs to submit and poll to completion")
 	faults := flag.Bool("faults", false, "fault-drill mode: the server runs with -fault-* injection, so failed attack jobs are expected; report the fault counters instead of treating failures as fatal")
+	reloads := flag.Int("reload", 0, "model hot-reloads to interleave through the scan burst (0 disables); every swap must succeed and every scan must carry a served model version")
 	seed := flag.Int64("seed", 1, "sample-pool generation seed")
 	streamMB := flag.Int("stream-mb", 0, "also POST a chunked upload of this many MiB to exercise the O(chunk) streaming scan path (0 disables)")
 	wait := flag.Duration("wait", 15*time.Second, "how long to wait for /healthz before giving up")
@@ -116,6 +125,20 @@ func main() {
 		pool[i] = g.Sample(fam).Raw
 	}
 
+	// Reload probe: swap model generations from inside the burst itself, and
+	// audit every scan response's model version against the set of
+	// generations the server has legitimately served.
+	var rp *reloadProbe
+	if *reloads > 0 {
+		if len(bases) != 1 || *cluster {
+			log.Fatal("-reload drives a single plain replica")
+		}
+		var err error
+		if rp, err = newReloadProbe(base, *reloads, *requests); err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	// The client burst is exactly the pool layer's shape: -clients workers
 	// draining a shared request counter, each request writing its own
 	// latency slot. Request i goes to target i%len(bases), so a multi-target
@@ -125,8 +148,13 @@ func main() {
 	var ok, shed, failed atomic.Int64
 	start := time.Now()
 	parallel.ForEach(*clients, *requests, func(i int) {
+		var version *string
+		if rp != nil {
+			rp.maybeReload(i)
+			version = new(string)
+		}
 		t0 := time.Now()
-		status, err := postScan(bases[i%len(bases)], pool[i%len(pool)])
+		status, err := postScan(bases[i%len(bases)], pool[i%len(pool)], version)
 		lat[i] = time.Since(t0)
 		switch {
 		case err != nil || status >= 500:
@@ -136,6 +164,9 @@ func main() {
 		case status == http.StatusOK:
 			ok.Add(1)
 			perOK[i%len(bases)].Add(1)
+			if rp != nil {
+				rp.sawVersion(*version)
+			}
 		default:
 			failed.Add(1)
 		}
@@ -147,6 +178,13 @@ func main() {
 	}
 	if failed.Load() > 0 {
 		log.Fatalf("%d scans failed outright", failed.Load())
+	}
+	if rp != nil {
+		if err := rp.verify(base); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "reloads: %d swaps under load · %d scan responses audited · final version %s\n",
+			rp.issued, ok.Load(), rp.lastVer)
 	}
 
 	attacksDone, attacksFailed := 0, 0
@@ -236,6 +274,9 @@ func main() {
 		hitRatio := checkCluster(pre, post, int64(*samples), *minHitRatio)
 		extra = fmt.Sprintf(" %.3f hit-ratio %d replicas", hitRatio, len(post.Replicas))
 	}
+	if rp != nil {
+		extra += fmt.Sprintf(" %.0f reloads", float64(rp.issued))
+	}
 
 	// One benchmark line per run; extra (value, unit) pairs become benchjson
 	// custom metrics.
@@ -282,14 +323,153 @@ func waitHealthy(base string, wait time.Duration) error {
 	}
 }
 
-func postScan(base string, raw []byte) (int, error) {
+// postScan POSTs one scan. When version is non-nil the response document is
+// decoded and the generation stamp written through it (the reload audit);
+// otherwise the body is discarded unparsed.
+func postScan(base string, raw []byte, version *string) (int, error) {
 	resp, err := http.Post(base+"/v1/scan", "application/octet-stream", bytes.NewReader(raw))
 	if err != nil {
 		return 0, err
 	}
+	defer resp.Body.Close()
+	if version != nil && resp.StatusCode == http.StatusOK {
+		var doc struct {
+			ModelVersion string `json:"model_version"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			return resp.StatusCode, fmt.Errorf("decoding scan response: %w", err)
+		}
+		*version = doc.ModelVersion
+	}
 	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
 	return resp.StatusCode, nil
+}
+
+// reloadProbe swaps model generations mid-burst and audits the fallout. It
+// tracks the set of versions the server has legitimately served this run
+// (the starting generation plus each swap's result) and the versions scan
+// responses actually reported; verify reconciles the two after the burst.
+type reloadProbe struct {
+	base     string
+	want     int
+	interval int
+
+	mu       sync.Mutex
+	issued   int
+	lastVer  string
+	versions map[string]bool
+
+	seen sync.Map // model version -> struct{}, from scan responses
+}
+
+func newReloadProbe(base string, n, requests int) (*reloadProbe, error) {
+	initial, err := fetchModelVersion(base)
+	if err != nil {
+		return nil, fmt.Errorf("reload probe: %w", err)
+	}
+	interval := requests / (n + 1)
+	if interval < 1 {
+		interval = 1
+	}
+	return &reloadProbe{
+		base:     base,
+		want:     n,
+		interval: interval,
+		lastVer:  initial,
+		versions: map[string]bool{initial: true},
+	}, nil
+}
+
+// maybeReload fires a reload at evenly spaced points of the burst. The swap
+// itself must succeed: a 501 (no loader configured) or 422 (certification
+// refused) under this drill is a deployment bug, not load shedding.
+func (rp *reloadProbe) maybeReload(i int) {
+	if i == 0 || i%rp.interval != 0 {
+		return
+	}
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	if rp.issued >= rp.want {
+		return
+	}
+	resp, err := http.Post(rp.base+"/v1/models/reload", "application/octet-stream", nil)
+	if err != nil {
+		log.Fatalf("reload %d: %v", rp.issued+1, err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("reload %d: status %d: %s", rp.issued+1, resp.StatusCode, body)
+	}
+	var doc struct {
+		Swapped      bool   `json:"swapped"`
+		ModelVersion string `json:"model_version"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		log.Fatalf("reload %d: decoding response: %v", rp.issued+1, err)
+	}
+	if !doc.Swapped || doc.ModelVersion == "" {
+		log.Fatalf("reload %d: server answered 200 without swapping: %s", rp.issued+1, body)
+	}
+	rp.issued++
+	rp.lastVer = doc.ModelVersion
+	rp.versions[doc.ModelVersion] = true
+}
+
+func (rp *reloadProbe) sawVersion(v string) { rp.seen.Store(v, struct{}{}) }
+
+// verify reconciles the audit after the burst: every reload fired, every
+// scan response named a generation the server really served, /healthz agrees
+// with the final swap, and /metrics counted the swaps.
+func (rp *reloadProbe) verify(base string) error {
+	if rp.issued != rp.want {
+		return fmt.Errorf("reload probe: issued %d of %d reloads — too few requests to space them", rp.issued, rp.want)
+	}
+	var bad []string
+	rp.seen.Range(func(k, _ any) bool {
+		v := k.(string)
+		if v == "" || !rp.versions[v] {
+			bad = append(bad, v)
+		}
+		return true
+	})
+	if len(bad) > 0 {
+		return fmt.Errorf("reload probe: scan responses carried unserved model versions %q", bad)
+	}
+	final, err := fetchModelVersion(base)
+	if err != nil {
+		return fmt.Errorf("reload probe: %w", err)
+	}
+	if final != rp.lastVer {
+		return fmt.Errorf("reload probe: /healthz model_version %s, want %s after the last swap", final, rp.lastVer)
+	}
+	m, err := fetchMetrics(base)
+	if err != nil {
+		return fmt.Errorf("reload probe: %w", err)
+	}
+	if m.Reloads < int64(rp.issued) {
+		return fmt.Errorf("reload probe: /metrics reloads = %d, expected >= %d", m.Reloads, rp.issued)
+	}
+	return nil
+}
+
+// fetchModelVersion reads the resident generation stamp off /healthz.
+func fetchModelVersion(base string) (string, error) {
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		ModelVersion string `json:"model_version"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return "", fmt.Errorf("decoding /healthz: %w", err)
+	}
+	if doc.ModelVersion == "" {
+		return "", fmt.Errorf("/healthz carries no model_version")
+	}
+	return doc.ModelVersion, nil
 }
 
 // patternBody generates n pseudo-random bytes on the fly, so the client
@@ -411,6 +591,10 @@ type metricsDoc struct {
 	// Streaming scan path.
 	ScansStreamed int64 `json:"scans_streamed"`
 	StreamedBytes int64 `json:"streamed_bytes"`
+
+	// Hot-reload counters, checked by the -reload probe.
+	Reloads        int64 `json:"reloads"`
+	ReloadFailures int64 `json:"reload_failures"`
 
 	// Lifecycle/fault counters, reported in -faults mode.
 	OracleQueries   int64 `json:"oracle_queries"`

@@ -6,7 +6,10 @@
 // Experiment binaries retrain deterministically from the seed, so they never
 // read stale models; the serving daemon is the exception — it wants a warm
 // start, so `-out models.gob` persists the offline suite for
-// `mpassd -models models.gob` to load in milliseconds.
+// `mpassd -models models.gob` to load in milliseconds. `-out-dir` writes the
+// same models as per-engine versioned envelopes (one file per detector, each
+// carrying a content-addressed version), the format the hot-reload endpoint
+// swaps in without a restart.
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"mpass/internal/av"
 	"mpass/internal/corpus"
 	"mpass/internal/detect"
+	"mpass/internal/engine"
 )
 
 func main() {
@@ -28,6 +32,7 @@ func main() {
 	nBen := flag.Int("benign", 60, "benign samples in the corpus")
 	workers := flag.Int("workers", 0, "worker-pool size for concurrent training (0 = GOMAXPROCS)")
 	out := flag.String("out", "", "write the trained offline suite (gob) here for mpassd -models")
+	outDir := flag.String("out-dir", "", "write per-engine versioned envelopes here (one .engine.gob per detector) for mpassd -models / hot reload")
 	flag.Parse()
 	if *workers < 0 {
 		log.Fatalf("workers must be >= 0 (0 = GOMAXPROCS), got %d", *workers)
@@ -50,6 +55,19 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("saved offline suite to %s\n", *out)
+	}
+	if *outDir != "" {
+		set, err := engine.FromSuite(suite)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := engine.SaveDir(*outDir, set); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("saved %d engine envelopes to %s/ (set %s)\n", set.Len(), *outDir, set.Version())
+		for _, d := range set.Drivers() {
+			fmt.Printf("  %-10s %s\n", d.Name(), d.Version())
+		}
 	}
 
 	fmt.Printf("\n%-10s %10s %10s\n", "model", "test acc", "threshold")

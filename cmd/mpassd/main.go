@@ -1,14 +1,18 @@
-// Command mpassd is the serving daemon: it keeps the trained offline
-// detector suite resident and exposes the scan/attack HTTP API of
-// internal/server — micro-batched scoring on POST /v1/scan, async MPass
-// attack jobs on POST /v1/attack, plus /healthz and /metrics.
+// Command mpassd is the serving daemon: it keeps the trained detector
+// engines resident behind the driver registry of internal/engine and exposes
+// the scan/attack HTTP API of internal/server — micro-batched scoring on
+// POST /v1/scan, async MPass attack jobs on POST /v1/attack, zero-downtime
+// model hot-reload on POST /v1/models/reload, plus /healthz and /metrics.
 //
-// Models come from a gob file written by `mpass-train -out models.gob`
-// (milliseconds to load) or, when the file is absent, are trained in-process
-// from the seed and saved back so the next start is fast:
+// -models accepts either form: a legacy monolithic gob from
+// `mpass-train -out models.gob`, or a directory of per-engine envelopes from
+// `mpass-train -out-dir models/`. When the path is absent, engines are
+// trained in-process from the seed and saved back (legacy file for a .gob
+// path, per-engine envelopes otherwise) so the next start is fast:
 //
-//	mpass-train -out models.gob
-//	mpassd -models models.gob -addr 127.0.0.1:8877
+//	mpass-train -out-dir models/
+//	mpassd -models models/ -addr 127.0.0.1:8877
+//	curl -X POST 'http://127.0.0.1:8877/v1/models/reload'   # after retraining
 //
 // SIGINT/SIGTERM drain gracefully: new requests are rejected, in-flight
 // scans and attack jobs finish (bounded by -drain), then the process exits.
@@ -28,6 +32,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -35,6 +40,7 @@ import (
 	"mpass/internal/core"
 	"mpass/internal/corpus"
 	"mpass/internal/detect"
+	"mpass/internal/engine"
 	"mpass/internal/faultinject"
 	"mpass/internal/nn"
 	"mpass/internal/server"
@@ -46,7 +52,8 @@ func main() {
 
 	addr := flag.String("addr", "127.0.0.1:8877", "listen address (port 0 picks a free port)")
 	addrFile := flag.String("addr-file", "", "write the bound address here once listening (for scripts using port 0)")
-	models := flag.String("models", "", "model file (gob); loaded if present, else trained and saved here")
+	models := flag.String("models", "", "model path: legacy suite gob or per-engine envelope dir; loaded if present, else trained and saved here")
+	withRNN := flag.Bool("rnn", false, "also serve the RNN perplexity engine (trained in-process when not in the model path)")
 	seed := flag.Int64("seed", 1, "corpus/training seed when models are trained in-process")
 	nMal := flag.Int("malware", 60, "malware samples in the training corpus")
 	nBen := flag.Int("benign", 60, "benign samples in the training corpus")
@@ -86,7 +93,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	suite, err := loadOrTrain(*models, *seed, *nMal, *nBen, *workers)
+	set, err := loadOrTrain(*models, *seed, *nMal, *nBen, *workers, *withRNN)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -94,9 +101,18 @@ func main() {
 		// Applied after load/train, before serving: the fixed-point tables
 		// derive from the resident weights on first use and survive model
 		// hot paths for the daemon's lifetime. int32 is the certified
-		// (<= 1e-6 score deviation, label-identical) serving mode.
-		suite.SetQuantMode(qmode)
+		// (<= 1e-6 score deviation, label-identical) serving mode. Reloaded
+		// engine sets get the same mode applied during certification.
+		for _, d := range set.Drivers() {
+			if q, ok := engine.QuantizerOf(d); ok {
+				q.SetQuantMode(qmode)
+			}
+		}
 		log.Printf("quantized inference: %v", qmode)
+	}
+	reg, err := engine.NewRegistry(set)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	// The donor pool reuses the eval harness's generator stream (seed offset
@@ -108,9 +124,28 @@ func main() {
 		pool[i] = g.Sample(corpus.Benign).Raw
 	}
 
+	modelPath := *models
 	cfg := server.Config{
-		Detectors:       suite.OfflineTargets(),
-		Attack:          server.MPassAttack(suite, pool, *maxQueries),
+		Registry: reg,
+		Attack:   server.MPassAttack(reg, pool, *maxQueries),
+		Quant:    qmode,
+		// Reload re-reads the model path (or the request's ?path= override)
+		// and hands the candidate set to the server's certify-then-swap.
+		Reload: func(override string) (*engine.Set, error) {
+			p := override
+			if p == "" {
+				p = modelPath
+			}
+			if p == "" {
+				return nil, fmt.Errorf("no model path: pass ?path= or start mpassd with -models")
+			}
+			next, src, err := engine.LoadPath(p)
+			if err != nil {
+				return nil, err
+			}
+			log.Printf("reload: loaded %s", src)
+			return next, nil
+		},
 		MaxBatch:        *maxBatch,
 		BatchWindow:     *window,
 		ScanQueue:       *scanQueue,
@@ -199,40 +234,105 @@ func main() {
 	log.Printf("drained cleanly")
 }
 
-// loadOrTrain resolves the resident suite: load the model file when it
-// exists, otherwise train from the seed (and persist when a path was given).
-func loadOrTrain(path string, seed int64, nMal, nBen, workers int) (*detect.Suite, error) {
+// loadOrTrain resolves the resident engine set: load the model path (legacy
+// suite gob or per-engine envelope directory) when it exists, otherwise
+// train from the seed and persist when a path was given — a legacy suite
+// file for a .gob path, per-engine envelopes for anything else. -rnn adds
+// the RNN perplexity engine, training it in-process when the loaded set
+// lacks one.
+func loadOrTrain(path string, seed int64, nMal, nBen, workers int, withRNN bool) (*engine.Set, error) {
+	var set *engine.Set
+	trained := false
 	if path != "" {
-		suite, err := detect.LoadSuiteFile(path)
+		loaded, src, err := engine.LoadPath(path)
 		if err == nil {
-			log.Printf("loaded models from %s", path)
-			return suite, nil
-		}
-		if !errors.Is(err, os.ErrNotExist) {
+			log.Printf("loaded models from %s", src)
+			set = loaded
+		} else if !errors.Is(err, os.ErrNotExist) {
 			return nil, fmt.Errorf("loading %s: %w", path, err)
+		} else {
+			log.Printf("%s not found, training from seed %d", path, seed)
 		}
-		log.Printf("%s not found, training from seed %d", path, seed)
 	} else {
 		log.Printf("no -models path, training from seed %d", seed)
 	}
 
-	start := time.Now()
-	ds := corpus.MakeAugmentedDataset(seed, nMal, nBen, 0.67)
-	cfg := detect.DefaultTrainConfig()
-	cfg.Seed = seed
-	cfg.Workers = workers
-	suite, err := detect.TrainSuite(ds, cfg)
-	if err != nil {
-		return nil, err
+	if set == nil {
+		start := time.Now()
+		ds := corpus.MakeAugmentedDataset(seed, nMal, nBen, 0.67)
+		cfg := detect.DefaultTrainConfig()
+		cfg.Seed = seed
+		cfg.Workers = workers
+		suite, err := detect.TrainSuite(ds, cfg)
+		if err != nil {
+			return nil, err
+		}
+		set, err = engine.FromSuite(suite)
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("trained offline suite in %v", time.Since(start).Round(time.Millisecond))
+		trained = true
 	}
-	log.Printf("trained offline suite in %v", time.Since(start).Round(time.Millisecond))
-	if path != "" {
-		if err := detect.SaveSuiteFile(path, suite); err != nil {
+
+	if withRNN {
+		if _, ok := set.Get("RNN-PPL"); !ok {
+			start := time.Now()
+			rcfg := engine.DefaultRNNConfig()
+			rcfg.Seed = seed
+			rnn, err := engine.TrainRNN(corpus.MakeAugmentedDataset(seed, nMal, nBen, 0.67), rcfg)
+			if err != nil {
+				return nil, err
+			}
+			drv, err := engine.NewRNNDriver(rnn)
+			if err != nil {
+				return nil, err
+			}
+			set, err = engine.NewSet(append(set.Drivers(), drv)...)
+			if err != nil {
+				return nil, err
+			}
+			log.Printf("trained RNN engine in %v", time.Since(start).Round(time.Millisecond))
+			trained = true
+		}
+	}
+
+	if trained && path != "" {
+		if err := saveModels(path, set); err != nil {
 			return nil, fmt.Errorf("saving %s: %w", path, err)
 		}
 		log.Printf("saved models to %s", path)
 	}
-	return suite, nil
+	return set, nil
+}
+
+// saveModels persists a freshly trained set: a .gob path keeps the legacy
+// monolithic suite form (runtime-only engines like the RNN cannot ride along
+// there — use a directory to persist them), anything else becomes a
+// directory of per-engine envelopes.
+func saveModels(path string, set *engine.Set) error {
+	if strings.HasSuffix(path, ".gob") {
+		suite := &detect.Suite{}
+		for _, d := range set.Drivers() {
+			switch t := d.(type) {
+			case *engine.ConvDriver:
+				switch t.Name() {
+				case "MalConv":
+					suite.MalConv = t.ConvDetector
+				case "NonNeg":
+					suite.NonNeg = t.ConvDetector
+				case "MalGCG":
+					suite.MalGCG = t.ConvDetector
+				}
+			case *engine.GBDTDriver:
+				suite.LGBM = t.GBDTDetector
+			default:
+				log.Printf("warning: engine %s is not part of the legacy suite form; use a -models directory to persist it", d.Name())
+			}
+		}
+		return detect.SaveSuiteFile(path, suite)
+	}
+	return engine.SaveDir(path, set)
 }
 
 func modelSource(path string) string {

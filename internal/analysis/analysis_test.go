@@ -155,6 +155,17 @@ func TestGatewayInScope(t *testing.T) {
 	}
 }
 
+// TestEngineInScope pins the PR 8 scope extension: the engine driver layer
+// scores (the RNN detector), trains, and derives content-addressed versions,
+// so the determinism analyzer must cover it. Dropping internal/engine from
+// scorePackages would let wall-clock or unseeded randomness leak into engine
+// versions and RNN scores unnoticed.
+func TestEngineInScope(t *testing.T) {
+	if !pathWithinAny("mpass/internal/engine", scorePackages) {
+		t.Error("determinism does not cover mpass/internal/engine")
+	}
+}
+
 func TestByName(t *testing.T) {
 	as, err := ByName("nakedgo, zeroalloc")
 	if err != nil {

@@ -10,8 +10,10 @@ import (
 // scorePackages are the packages whose code can influence a model score:
 // the two model families, the tensor kernels under them, the feature
 // extractor feeding the tree model (buffered and streaming paths), the
-// detector layer, the Shapley explainer, and the attack core that consumes
-// gradients and oracle scores. Everything the repo reports — transfer
+// detector layer, the Shapley explainer, the attack core that consumes
+// gradients and oracle scores, and the engine driver layer (its RNN
+// detector scores and trains, and its content-addressed versions must be a
+// pure function of the weights). Everything the repo reports — transfer
 // tables, section rankings, query counts — is a pure function of (seed,
 // corpus, config) only as long as these stay deterministic.
 var scorePackages = []string{
@@ -22,6 +24,7 @@ var scorePackages = []string{
 	"internal/detect",
 	"internal/shapley",
 	"internal/core",
+	"internal/engine",
 }
 
 // randConstructors are the math/rand package-level functions that build

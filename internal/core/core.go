@@ -65,6 +65,36 @@ func QueryOracle(ctx context.Context, o Oracle, raw []byte) (bool, error) {
 	return o.Detected(raw), nil
 }
 
+// ModelVersioner is implemented by oracles that can report which model
+// generation is answering their queries — the serving layer's resident
+// oracle, whose backing model set can be hot-swapped mid-attack.
+type ModelVersioner interface {
+	ModelVersion() string
+}
+
+// OracleUnwrapper is implemented by wrapper oracles (query counters, retry
+// layers, fault injectors); capability probes look through it.
+type OracleUnwrapper interface {
+	UnwrapOracle() Oracle
+}
+
+// OracleModelVersion walks o's wrapper chain for a ModelVersioner and
+// returns its version, or "" when no layer knows one. Attack bookkeeping
+// uses it to record the generation a finished job's oracle ended on.
+func OracleModelVersion(o Oracle) string {
+	for o != nil {
+		if v, ok := o.(ModelVersioner); ok {
+			return v.ModelVersion()
+		}
+		u, ok := o.(OracleUnwrapper)
+		if !ok {
+			return ""
+		}
+		o = u.UnwrapOracle()
+	}
+	return ""
+}
+
 // DetectorOracle adapts any detect.Detector into an Oracle.
 type DetectorOracle struct{ D detect.Detector }
 
@@ -79,6 +109,9 @@ type CountingOracle struct {
 	Oracle
 	Queries int
 }
+
+// UnwrapOracle implements OracleUnwrapper.
+func (c *CountingOracle) UnwrapOracle() Oracle { return c.Oracle }
 
 // Detected implements Oracle, incrementing the query counter.
 func (c *CountingOracle) Detected(raw []byte) bool {

@@ -49,13 +49,20 @@ func (d *GBDTDetector) NewStream() ScoreStream {
 	return &gbdtStream{ex: features.NewStreamExtractor(), e: d.Ensemble}
 }
 
+// SetQuantMode switches this detector's network to the given fixed-point
+// table format (nn.QuantOff restores the float64 reference path). It is the
+// per-engine hook the driver layer's quantization capability probe finds.
+func (d *ConvDetector) SetQuantMode(m nn.QuantMode) {
+	if d != nil && d.Net != nil {
+		d.Net.SetQuantMode(m)
+	}
+}
+
 // SetQuantMode switches every neural detector in the suite to the given
 // fixed-point table format (nn.QuantOff restores the float64 reference
 // path). The tree model has no quantized variant and is unaffected.
 func (s *Suite) SetQuantMode(m nn.QuantMode) {
 	for _, d := range []*ConvDetector{s.MalConv, s.NonNeg, s.MalGCG} {
-		if d != nil && d.Net != nil {
-			d.Net.SetQuantMode(m)
-		}
+		d.SetQuantMode(m)
 	}
 }

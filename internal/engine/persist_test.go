@@ -1,0 +1,314 @@
+package engine
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mpass/internal/detect"
+)
+
+// TestEnvelopeRoundTripBitIdentity is the per-engine persistence gate: for
+// every persistable engine kind (conv, gbdt, rnn), save → load must yield
+// the same name, the same content-addressed version, the same threshold, and
+// bit-identical scores through both the single-sample and batched paths.
+// The version assertion is what the reload drill keys on — reloading the
+// same bytes must advertise the same generation.
+func TestEnvelopeRoundTripBitIdentity(t *testing.T) {
+	_, _, raws := fixtures(t)
+	for _, d := range fullSet(t).Drivers() {
+		var buf bytes.Buffer
+		if err := SaveEngine(&buf, d, 3); err != nil {
+			t.Fatalf("SaveEngine(%s): %v", d.Name(), err)
+		}
+		loaded, idx, err := LoadEngine(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("LoadEngine(%s): %v", d.Name(), err)
+		}
+		if idx != 3 {
+			t.Fatalf("%s: index %d survived as %d", d.Name(), 3, idx)
+		}
+		if loaded.Name() != d.Name() {
+			t.Fatalf("loaded name %q, want %q", loaded.Name(), d.Name())
+		}
+		if loaded.Version() != d.Version() {
+			t.Fatalf("%s: loaded version %s != saved %s (identical bytes must mean identical version)",
+				d.Name(), loaded.Version(), d.Version())
+		}
+		if loaded.Threshold() != d.Threshold() {
+			t.Fatalf("%s: threshold %v survived as %v", d.Name(), d.Threshold(), loaded.Threshold())
+		}
+		if err := loaded.Health(); err != nil {
+			t.Fatalf("%s: unhealthy after load: %v", d.Name(), err)
+		}
+		batch := loaded.ScoreBatch(raws)
+		for j, raw := range raws {
+			want := d.Score(raw)
+			if got := loaded.Score(raw); got != want {
+				t.Fatalf("%s sample %d: loaded score %v != original %v", d.Name(), j, got, want)
+			}
+			if batch[j] != want {
+				t.Fatalf("%s sample %d: loaded batch score %v != original %v", d.Name(), j, batch[j], want)
+			}
+			if loaded.Label(raw) != d.Label(raw) {
+				t.Fatalf("%s sample %d: loaded label flipped", d.Name(), j)
+			}
+		}
+	}
+}
+
+// TestSaveEngineRejectsRuntimeOnly: wrapper drivers have no envelope form —
+// persisting one must fail loudly instead of writing a file that cannot
+// round-trip.
+func TestSaveEngineRejectsRuntimeOnly(t *testing.T) {
+	wrapped, err := WrapDetector(stub("External", "v1"), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveEngine(&bytes.Buffer{}, wrapped, 0); err == nil {
+		t.Fatal("SaveEngine accepted a runtime-only wrapped detector")
+	}
+	// A set containing one poisons the whole directory save.
+	suite, _, _ := fixtures(t)
+	conv, err := NewConvDriver(suite.MalConv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed, err := NewSet(conv, wrapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveDir(t.TempDir(), mixed); err == nil {
+		t.Fatal("SaveDir accepted a set with a runtime-only member")
+	}
+}
+
+func TestLoadEngineRejectsBadEnvelopes(t *testing.T) {
+	if _, _, err := LoadEngine(bytes.NewReader([]byte("not a gob stream"))); err == nil {
+		t.Fatal("LoadEngine accepted garbage")
+	}
+	suite, _, _ := fixtures(t)
+	conv, err := NewConvDriver(suite.MalConv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mangle := func(f func(*envelope)) error {
+		var buf bytes.Buffer
+		if err := SaveEngine(&buf, conv, 0); err != nil {
+			t.Fatal(err)
+		}
+		var env envelope
+		if err := decodePayload(buf.Bytes(), &env); err != nil {
+			t.Fatal(err)
+		}
+		f(&env)
+		raw, err := encodePayload(&env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _, lerr := LoadEngine(bytes.NewReader(raw))
+		return lerr
+	}
+	if err := mangle(func(e *envelope) { e.Magic = "pickle" }); err == nil {
+		t.Fatal("LoadEngine accepted a wrong magic")
+	}
+	if err := mangle(func(e *envelope) { e.Version = engineVersion + 1 }); err == nil {
+		t.Fatal("LoadEngine accepted a future format version")
+	}
+	if err := mangle(func(e *envelope) { e.Kind = "onnx" }); err == nil {
+		t.Fatal("LoadEngine accepted an unknown kind")
+	}
+	if err := mangle(func(e *envelope) { e.Name = "Imposter" }); err == nil {
+		t.Fatal("LoadEngine accepted an envelope whose name disagrees with its payload")
+	}
+}
+
+// TestSaveDirLoadDirRoundTrip: a directory of envelopes must rebuild the
+// exact set — same order, same names, same per-engine versions, and
+// therefore the same set version.
+func TestSaveDirLoadDirRoundTrip(t *testing.T) {
+	set := fullSet(t)
+	dir := t.TempDir()
+	if err := SaveDir(dir, set); err != nil {
+		t.Fatalf("SaveDir: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files int
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), envelopeSuffix) {
+			files++
+		}
+	}
+	if files != set.Len() {
+		t.Fatalf("%d envelope files for %d engines", files, set.Len())
+	}
+	loaded, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if loaded.Version() != set.Version() {
+		t.Fatalf("round-tripped set version %s != %s", loaded.Version(), set.Version())
+	}
+	for i, d := range loaded.Drivers() {
+		orig := set.Drivers()[i]
+		if d.Name() != orig.Name() || d.Version() != orig.Version() {
+			t.Fatalf("member %d: %s/%s, want %s/%s", i, d.Name(), d.Version(), orig.Name(), orig.Version())
+		}
+	}
+	if err := SaveDir(t.TempDir(), nil); err == nil {
+		t.Fatal("SaveDir accepted a nil set")
+	}
+}
+
+// TestLoadDirOrdersByRecordedIndex: load order follows each envelope's
+// recorded Index, not filesystem listing order — a renamed file cannot
+// reorder the set.
+func TestLoadDirOrdersByRecordedIndex(t *testing.T) {
+	suite, _, _ := fixtures(t)
+	set, err := FromSuite(suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	// Write with filenames that sort in reverse of the recorded indices.
+	for i, d := range set.Drivers() {
+		name := filepath.Join(dir, envelopeFileName(set.Len()-1-i, d.Name()))
+		if err := SaveEngineFile(name, d, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loaded, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range set.Names() {
+		if loaded.Names()[i] != name {
+			t.Fatalf("load order %v, want %v (filenames must not override indices)",
+				loaded.Names(), set.Names())
+		}
+	}
+	// An empty directory is an explicit error, not an empty set.
+	if _, err := LoadDir(t.TempDir()); err == nil {
+		t.Fatal("LoadDir accepted a directory with no envelopes")
+	}
+}
+
+// TestLoadPathResolvesAllForms: directory of envelopes, legacy monolithic
+// suite gob, lone envelope file — and refuses everything else.
+func TestLoadPathResolvesAllForms(t *testing.T) {
+	suite, _, raws := fixtures(t)
+	set, err := FromSuite(suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	if err := SaveDir(dir, set); err != nil {
+		t.Fatal(err)
+	}
+	fromDir, src, err := LoadPath(dir)
+	if err != nil {
+		t.Fatalf("LoadPath(dir): %v", err)
+	}
+	if !strings.Contains(src, "dir") {
+		t.Fatalf("dir source = %q", src)
+	}
+	if fromDir.Version() != set.Version() {
+		t.Fatalf("dir load version %s != %s", fromDir.Version(), set.Version())
+	}
+
+	legacy := filepath.Join(t.TempDir(), "models.gob")
+	if err := detect.SaveSuiteFile(legacy, suite); err != nil {
+		t.Fatal(err)
+	}
+	fromLegacy, src, err := LoadPath(legacy)
+	if err != nil {
+		t.Fatalf("LoadPath(legacy): %v", err)
+	}
+	if !strings.Contains(src, "legacy") {
+		t.Fatalf("legacy source = %q", src)
+	}
+	for i, name := range set.Names() {
+		if fromLegacy.Names()[i] != name {
+			t.Fatalf("legacy load order %v, want %v", fromLegacy.Names(), set.Names())
+		}
+	}
+	// The two load forms score bit-identically: same weights, either wrapper.
+	for i, d := range fromLegacy.Drivers() {
+		dd := fromDir.Drivers()[i]
+		for _, raw := range raws[:4] {
+			if d.Score(raw) != dd.Score(raw) {
+				t.Fatalf("%s: legacy-form score != envelope-form score", d.Name())
+			}
+		}
+	}
+
+	lone := filepath.Join(t.TempDir(), "malconv.engine.gob")
+	if err := SaveEngineFile(lone, set.Drivers()[0], 0); err != nil {
+		t.Fatal(err)
+	}
+	single, src, err := LoadPath(lone)
+	if err != nil {
+		t.Fatalf("LoadPath(lone envelope): %v", err)
+	}
+	if !strings.Contains(src, "single") {
+		t.Fatalf("single source = %q", src)
+	}
+	if single.Len() != 1 || single.Names()[0] != "MalConv" {
+		t.Fatalf("single load = %v", single.Names())
+	}
+
+	junk := filepath.Join(t.TempDir(), "junk.bin")
+	if err := os.WriteFile(junk, []byte("neither form"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadPath(junk); err == nil {
+		t.Fatal("LoadPath accepted a junk file")
+	}
+	if _, _, err := LoadPath(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("LoadPath accepted a missing path")
+	}
+}
+
+// TestSaveEngineFileAtomic: the temp-and-rename write never leaves a torn
+// file behind — after a save the directory holds exactly the target file.
+func TestSaveEngineFileAtomic(t *testing.T) {
+	suite, _, _ := fixtures(t)
+	conv, err := NewConvDriver(suite.MalConv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "malconv.engine.gob")
+	if err := SaveEngineFile(path, conv, 0); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "malconv.engine.gob" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("directory after save: %v, want only the target file", names)
+	}
+	// A runtime-only driver fails before the rename: no target file appears.
+	wrapped, err := WrapDetector(stub("External", "v1"), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(dir, "external.engine.gob")
+	if err := SaveEngineFile(bad, wrapped, 1); err == nil {
+		t.Fatal("SaveEngineFile accepted a runtime-only driver")
+	}
+	if _, err := os.Stat(bad); !os.IsNotExist(err) {
+		t.Fatal("failed save left a file behind")
+	}
+}

@@ -1,0 +1,34 @@
+// Bridge from the evaluation harness to the engine driver layer: an eval
+// Suite — the four offline models plus the five commercial-AV simulators —
+// exposed as one engine.Set, ready to seed an engine.Registry for a serving
+// daemon or a multi-detector evaluation matrix. The offline models carry
+// content-addressed weight versions; the AV simulators are live heterogeneous
+// ensembles (signature state mutates through LearnRound), so they register as
+// runtime-only drivers versioned by the suite's training seed.
+package eval
+
+import (
+	"fmt"
+
+	"mpass/internal/engine"
+)
+
+// EngineSet wraps the suite's models as engine drivers, offline targets
+// first (§IV-A order, matching OfflineTargets) and AV simulators after. The
+// returned set is independent of the suite only in structure — drivers share
+// the underlying model weights and AV signature state.
+func (s *Suite) EngineSet() (*engine.Set, error) {
+	set, err := engine.FromSuite(&s.Suite)
+	if err != nil {
+		return nil, fmt.Errorf("eval: wrapping offline models: %w", err)
+	}
+	drivers := append([]engine.Driver(nil), set.Drivers()...)
+	for _, a := range s.AVs {
+		drv, err := engine.NewAVDriver(a, fmt.Sprintf("live-%s-seed%d", a.Name(), s.Cfg.Seed))
+		if err != nil {
+			return nil, fmt.Errorf("eval: wrapping AV %s: %w", a.Name(), err)
+		}
+		drivers = append(drivers, drv)
+	}
+	return engine.NewSet(drivers...)
+}

@@ -1,0 +1,71 @@
+package eval
+
+import (
+	"testing"
+
+	"mpass/internal/engine"
+)
+
+// TestEngineSetWrapsWholeSuite: the bridge must expose every suite model —
+// offline targets in §IV-A order, AV simulators after — scoring identically
+// to the wrapped originals, with the gradient probe reproducing KnownFor.
+func TestEngineSetWrapsWholeSuite(t *testing.T) {
+	s := quickSuite(t)
+	set, err := s.EngineSet()
+	if err != nil {
+		t.Fatalf("EngineSet: %v", err)
+	}
+	offline := s.OfflineTargets()
+	if set.Len() != len(offline)+len(s.AVs) {
+		t.Fatalf("set has %d engines, want %d offline + %d AVs", set.Len(), len(offline), len(s.AVs))
+	}
+	for i, d := range offline {
+		if set.Names()[i] != d.Name() {
+			t.Fatalf("engine %d = %s, want offline target %s", i, set.Names()[i], d.Name())
+		}
+	}
+	for i, a := range s.AVs {
+		got := set.Drivers()[len(offline)+i]
+		if got.Name() != a.Name() {
+			t.Fatalf("engine %d = %s, want AV %s", len(offline)+i, got.Name(), a.Name())
+		}
+		if got.Version() == "" {
+			t.Fatalf("AV driver %s has no version tag", a.Name())
+		}
+	}
+
+	// Scores and verdicts pass through unchanged: same weights, same state.
+	raw := s.Victims[0].Raw
+	for i, d := range offline {
+		if got, want := set.Drivers()[i].Score(raw), d.Score(raw); got != want {
+			t.Fatalf("%s: driver score %v != suite score %v", d.Name(), got, want)
+		}
+	}
+	for i, a := range s.AVs {
+		drv := set.Drivers()[len(offline)+i]
+		if drv.Label(raw) != a.Detected(raw) {
+			t.Fatalf("%s: driver verdict != AV verdict", a.Name())
+		}
+	}
+
+	// The capability probes reproduce KnownFor through the bridge: conv nets
+	// minus the target; trees and AVs (hard-label) never.
+	for _, target := range []string{"MalConv", "LightGBM", s.AVs[0].Name()} {
+		want := s.KnownFor(target)
+		got := engine.GradientModels(set, target)
+		if len(got) != len(want) {
+			t.Fatalf("target %s: %d gradient models, want %d", target, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Name() != want[i].Name() {
+				t.Fatalf("target %s: ensemble[%d] = %s, want %s", target, i, got[i].Name(), want[i].Name())
+			}
+		}
+	}
+
+	// AV drivers are live ensembles: the set cannot be persisted as a model
+	// directory, and saying so is the API contract.
+	if err := engine.SaveDir(t.TempDir(), set); err == nil {
+		t.Fatal("SaveDir accepted a set containing live AV drivers")
+	}
+}

@@ -77,6 +77,10 @@ func Wrap(inner core.Oracle, cfg Config) *Oracle {
 // Name implements core.Oracle.
 func (o *Oracle) Name() string { return o.inner.Name() }
 
+// UnwrapOracle implements core.OracleUnwrapper, so capability probes (model
+// version reporting) reach through the fault layer.
+func (o *Oracle) UnwrapOracle() core.Oracle { return o.inner }
+
 // draw takes the query's three fault decisions from the seeded stream.
 func (o *Oracle) draw() (hang, fail, delay bool) {
 	o.mu.Lock()

@@ -227,15 +227,19 @@ type ClusterHealth struct {
 	Replicas []ReplicaHealth `json:"replicas"`
 }
 
-// ReplicaHealth is one member's health slice.
+// ReplicaHealth is one member's health slice. Engines passes through the
+// replica's per-engine name/version/health lines, so a fleet operator can
+// see exactly which engine generation each replica is serving across a
+// rolling hot-reload.
 type ReplicaHealth struct {
-	Name         string  `json:"name"`
-	Healthy      bool    `json:"healthy"`
-	Draining     bool    `json:"draining,omitempty"`
-	ModelVersion string  `json:"model_version,omitempty"`
-	JobsPending  int     `json:"jobs_pending"`
-	ScanQueue    int     `json:"scan_queue"`
-	AgeS         float64 `json:"probe_age_s"` // time since the last probe
+	Name         string                `json:"name"`
+	Healthy      bool                  `json:"healthy"`
+	Draining     bool                  `json:"draining,omitempty"`
+	ModelVersion string                `json:"model_version,omitempty"`
+	Engines      []server.EngineHealth `json:"engines,omitempty"`
+	JobsPending  int                   `json:"jobs_pending"`
+	ScanQueue    int                   `json:"scan_queue"`
+	AgeS         float64               `json:"probe_age_s"` // time since the last probe
 }
 
 func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -257,6 +261,7 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			Healthy:      up,
 			Draining:     st.Draining,
 			ModelVersion: st.ModelVersion,
+			Engines:      st.Engines,
 			JobsPending:  st.JobsPending,
 			ScanQueue:    st.ScanQueue,
 		}

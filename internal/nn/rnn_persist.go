@@ -1,0 +1,78 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"mpass/internal/tensor"
+)
+
+// Gob persistence for the recurrent byte language model, mirroring the
+// ConvNet convention (persist.go): architecture plus trained parameters
+// travel, gradient accumulators are runtime state rebuilt on decode. This is
+// what lets the RNN-backed detector ride the per-engine envelope format of
+// internal/engine.
+
+// byteLMState is the serialized form of a ByteLM.
+type byteLMState struct {
+	EmbedDim, Hidden int
+	Embed            tensor.Vec
+	Wx               tensor.Vec
+	Wh               tensor.Vec
+	Bh               tensor.Vec
+	Wo               tensor.Vec
+	Bo               tensor.Vec
+}
+
+// GobEncode implements gob.GobEncoder.
+func (lm *ByteLM) GobEncode() ([]byte, error) {
+	st := byteLMState{
+		EmbedDim: lm.EmbedDim,
+		Hidden:   lm.Hidden,
+		Embed:    lm.Embed.Data,
+		Wx:       lm.Wx.Data,
+		Wh:       lm.Wh.Data,
+		Bh:       lm.Bh,
+		Wo:       lm.Wo.Data,
+		Bo:       lm.Bo,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&st); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder. The receiver is rebuilt from scratch:
+// parameter storage (and fresh gradient accumulators) come from NewByteLM,
+// then the decoded weights are copied over it.
+func (lm *ByteLM) GobDecode(data []byte) error {
+	var st byteLMState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return err
+	}
+	if st.EmbedDim <= 0 || st.Hidden <= 0 {
+		return fmt.Errorf("nn: decoded ByteLM has invalid shape %dx%d", st.EmbedDim, st.Hidden)
+	}
+	m := NewByteLM(st.EmbedDim, st.Hidden, 0)
+	for _, c := range []struct {
+		name string
+		dst  tensor.Vec
+		src  tensor.Vec
+	}{
+		{"embed", m.Embed.Data, st.Embed},
+		{"wx", m.Wx.Data, st.Wx},
+		{"wh", m.Wh.Data, st.Wh},
+		{"bh", m.Bh, st.Bh},
+		{"wo", m.Wo.Data, st.Wo},
+		{"bo", m.Bo, st.Bo},
+	} {
+		if len(c.src) != len(c.dst) {
+			return fmt.Errorf("nn: decoded ByteLM %s has %d values, shape needs %d", c.name, len(c.src), len(c.dst))
+		}
+		copy(c.dst, c.src)
+	}
+	*lm = *m
+	return nil
+}

@@ -25,7 +25,11 @@ import (
 // dispatcher only regroups inputs, and the ScoreBatch implementations carry
 // the repo-wide batch-equals-single parity guarantee.
 type Batcher struct {
-	dets    []detect.Detector
+	// src resolves the model set to score with; the dispatcher loads it once
+	// per flush, so every request coalesced into one batch is scored and
+	// labeled by a single model generation even if a hot reload lands while
+	// the batch is being collected.
+	src     func() *modelSet
 	max     int
 	window  time.Duration
 	metrics *Metrics
@@ -37,10 +41,13 @@ type Batcher struct {
 }
 
 // scanOut is one request's result: per-detector scores and hard labels, in
-// the batcher's detector order.
+// set order, plus the model generation that produced them — response
+// rendering and cache filing key on the set that actually scored, never on
+// whatever is current by the time the result is consumed.
 type scanOut struct {
 	Scores []float64
 	Labels []bool
+	set    *modelSet
 }
 
 type scanReq struct {
@@ -54,10 +61,18 @@ var (
 	ErrClosed     = errors.New("server: shutting down")
 )
 
-// newBatcher starts the dispatcher. maxBatch and queue have sane minimums;
-// window <= 0 flushes as soon as the channel runs dry (pure opportunistic
-// coalescing).
+// newBatcher starts a dispatcher over a fixed detector slice — the
+// compatibility constructor for embedders (and tests) without a reloadable
+// model set.
 func newBatcher(dets []detect.Detector, maxBatch, queue int, window time.Duration, m *Metrics) *Batcher {
+	ms := &modelSet{dets: dets}
+	return newBatcherSrc(func() *modelSet { return ms }, maxBatch, queue, window, m)
+}
+
+// newBatcherSrc starts the dispatcher over a model-set source. maxBatch and
+// queue have sane minimums; window <= 0 flushes as soon as the channel runs
+// dry (pure opportunistic coalescing).
+func newBatcherSrc(src func() *modelSet, maxBatch, queue int, window time.Duration, m *Metrics) *Batcher {
 	if maxBatch < 1 {
 		maxBatch = 1
 	}
@@ -65,7 +80,7 @@ func newBatcher(dets []detect.Detector, maxBatch, queue int, window time.Duratio
 		queue = maxBatch
 	}
 	b := &Batcher{
-		dets:    dets,
+		src:     src,
 		max:     maxBatch,
 		window:  window,
 		metrics: m,
@@ -194,14 +209,18 @@ func (b *Batcher) flush(batch []*scanReq) {
 	for i, r := range batch {
 		raws[i] = r.raw
 	}
+	// One snapshot per flush: every request in this batch gets scores and
+	// labels from the same model generation.
+	set := b.src()
 	outs := make([]scanOut, len(batch))
 	for i := range outs {
 		outs[i] = scanOut{
-			Scores: make([]float64, len(b.dets)),
-			Labels: make([]bool, len(b.dets)),
+			Scores: make([]float64, len(set.dets)),
+			Labels: make([]bool, len(set.dets)),
+			set:    set,
 		}
 	}
-	for di, d := range b.dets {
+	for di, d := range set.dets {
 		scores := detect.ScoreAll(d, raws, 0)
 		var labels []bool
 		if th, ok := d.(detect.Thresholder); ok {

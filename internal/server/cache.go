@@ -5,20 +5,30 @@ import (
 	"sync"
 )
 
-// scoreCache is a SHA-256-keyed LRU over full scan results. Adversarial
-// workloads are extremely repetitive — an attack loop re-queries candidate
-// byte strings it has seen before, and load generators replay a fixed
-// sample pool — so a small cache absorbs a large share of oracle traffic
-// before it reaches the batcher.
+// scoreKey addresses one cached scan result: the content's SHA-256 paired
+// with the model generation that scored it. Keying on the digest alone would
+// serve stale verdicts after a hot reload — same bytes, different weights —
+// so the version segments the cache by generation and the swap purges what
+// the old generation left behind.
+type scoreKey struct {
+	version string
+	sum     [32]byte
+}
+
+// scoreCache is a (version, SHA-256)-keyed LRU over full scan results.
+// Adversarial workloads are extremely repetitive — an attack loop re-queries
+// candidate byte strings it has seen before, and load generators replay a
+// fixed sample pool — so a small cache absorbs a large share of oracle
+// traffic before it reaches the batcher.
 type scoreCache struct {
 	mu    sync.Mutex
 	cap   int
 	ll    *list.List // front = most recently used
-	items map[[32]byte]*list.Element
+	items map[scoreKey]*list.Element
 }
 
 type cacheEntry struct {
-	key [32]byte
+	key scoreKey
 	out scanOut
 }
 
@@ -28,12 +38,12 @@ func newScoreCache(capacity int) *scoreCache {
 	return &scoreCache{
 		cap:   capacity,
 		ll:    list.New(),
-		items: make(map[[32]byte]*list.Element),
+		items: make(map[scoreKey]*list.Element),
 	}
 }
 
 // get returns the cached result for key, refreshing its recency.
-func (c *scoreCache) get(key [32]byte) (scanOut, bool) {
+func (c *scoreCache) get(key scoreKey) (scanOut, bool) {
 	if c.cap <= 0 {
 		return scanOut{}, false
 	}
@@ -49,7 +59,7 @@ func (c *scoreCache) get(key [32]byte) (scanOut, bool) {
 
 // put inserts (or refreshes) key's result, evicting the least recently used
 // entry when the cache is full.
-func (c *scoreCache) put(key [32]byte, out scanOut) {
+func (c *scoreCache) put(key scoreKey, out scanOut) {
 	if c.cap <= 0 {
 		return
 	}
@@ -66,6 +76,19 @@ func (c *scoreCache) put(key [32]byte, out scanOut) {
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(*cacheEntry).key)
 	}
+}
+
+// purge empties the cache and reports how many entries were dropped. The
+// hot-reload swap calls it so no old-generation result lingers; version-keyed
+// lookups would miss those entries anyway, but purging returns the capacity
+// to the new generation immediately.
+func (c *scoreCache) purge() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.ll.Len()
+	c.ll.Init()
+	c.items = make(map[scoreKey]*list.Element)
+	return n
 }
 
 // len reports the current entry count.

@@ -6,7 +6,9 @@ import (
 	"testing"
 )
 
-func cacheKey(i int) [32]byte { return sha256.Sum256([]byte(fmt.Sprintf("sample-%d", i))) }
+func cacheKey(i int) scoreKey {
+	return scoreKey{version: "v1", sum: sha256.Sum256([]byte(fmt.Sprintf("sample-%d", i)))}
+}
 
 func cacheOut(i int) scanOut {
 	return scanOut{Scores: []float64{float64(i)}, Labels: []bool{i%2 == 0}}
@@ -55,6 +57,52 @@ func TestScoreCachePutRefreshesExisting(t *testing.T) {
 	c.put(cacheKey(2), cacheOut(2))
 	if _, ok := c.get(cacheKey(1)); ok {
 		t.Fatal("key 1 survived eviction after refresh reordered recency")
+	}
+}
+
+// Same content, different model generation: the version half of the key
+// segments the cache, so a lookup under the new generation can never return
+// a score the old weights produced — the stale-score bug a bare SHA-256 key
+// had under hot reload.
+func TestScoreCacheVersionSegmentsEntries(t *testing.T) {
+	c := newScoreCache(8)
+	sum := sha256.Sum256([]byte("same-bytes"))
+	c.put(scoreKey{version: "set-old", sum: sum}, scanOut{Scores: []float64{0.9}, Labels: []bool{true}})
+	if _, ok := c.get(scoreKey{version: "set-new", sum: sum}); ok {
+		t.Fatal("new generation hit the old generation's entry for identical content")
+	}
+	c.put(scoreKey{version: "set-new", sum: sum}, scanOut{Scores: []float64{0.2}, Labels: []bool{false}})
+	old, ok := c.get(scoreKey{version: "set-old", sum: sum})
+	if !ok || old.Scores[0] != 0.9 {
+		t.Fatalf("old generation entry = %v ok=%v, want its own score 0.9", old, ok)
+	}
+	fresh, ok := c.get(scoreKey{version: "set-new", sum: sum})
+	if !ok || fresh.Scores[0] != 0.2 {
+		t.Fatalf("new generation entry = %v ok=%v, want 0.2", fresh, ok)
+	}
+}
+
+func TestScoreCachePurge(t *testing.T) {
+	c := newScoreCache(8)
+	for i := 0; i < 5; i++ {
+		c.put(cacheKey(i), cacheOut(i))
+	}
+	if n := c.purge(); n != 5 {
+		t.Fatalf("purge dropped %d entries, want 5", n)
+	}
+	if c.len() != 0 {
+		t.Fatalf("len = %d after purge, want 0", c.len())
+	}
+	if _, ok := c.get(cacheKey(0)); ok {
+		t.Fatal("entry survived purge")
+	}
+	// The cache keeps working after a purge.
+	c.put(cacheKey(7), cacheOut(7))
+	if _, ok := c.get(cacheKey(7)); !ok {
+		t.Fatal("cache unusable after purge")
+	}
+	if n := c.purge(); n != 1 {
+		t.Fatalf("second purge dropped %d entries, want 1", n)
 	}
 }
 

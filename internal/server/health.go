@@ -1,19 +1,27 @@
 // Enriched health endpoint: GET /healthz answers a machine-readable
 // HealthStatus so a fronting gateway can do more than liveness-probe — the
-// document carries the model version (replica-set consistency checks), the
-// drain state, and live queue depths (the least-loaded job-placement
-// signal). The original bare contract is preserved exactly: 200 while
-// serving, 503 while draining, so probes that only look at the status code
-// keep working unchanged.
+// document carries the model-set version and per-engine versions
+// (replica-set consistency checks across hot reloads), the drain state, and
+// live queue depths (the least-loaded job-placement signal). The original
+// bare contract is preserved exactly: 200 while serving, 503 while draining,
+// so probes that only look at the status code keep working unchanged.
 package server
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
 	"net/http"
-	"strings"
 	"time"
 )
+
+// EngineHealth is one resident engine's health line on /healthz: its name,
+// its content-addressed weight version, and whether it currently reports
+// healthy. internal/gateway surfaces these per replica, so a fleet operator
+// can see exactly which engine generation every replica is serving.
+type EngineHealth struct {
+	Name    string `json:"name"`
+	Version string `json:"version"`
+	Healthy bool   `json:"healthy"`
+	Error   string `json:"error,omitempty"`
+}
 
 // HealthStatus is the GET /healthz response document. internal/gateway
 // decodes the same type, so the two sides cannot drift apart silently.
@@ -23,12 +31,17 @@ type HealthStatus struct {
 	Status string `json:"status"`
 	// Models lists the resident detectors in scan-response order.
 	Models []string `json:"models"`
-	// ModelVersion identifies the resident weight set (Config.ModelVersion,
-	// or a digest of the model names when unset). Replicas in one fleet
-	// should agree; the gateway surfaces mismatches.
-	ModelVersion string  `json:"model_version"`
-	Draining     bool    `json:"draining"`
-	UptimeS      float64 `json:"uptime_s"`
+	// ModelVersion identifies the resident model generation: the engine
+	// set's content-addressed version on registry-backed servers (it moves
+	// on every hot reload), or Config.ModelVersion / a name digest on static
+	// ones. Replicas in one fleet should agree; the gateway surfaces
+	// mismatches.
+	ModelVersion string `json:"model_version"`
+	// Engines carries per-engine name/version/health for the resident set,
+	// in scan-response order.
+	Engines  []EngineHealth `json:"engines,omitempty"`
+	Draining bool           `json:"draining"`
+	UptimeS  float64        `json:"uptime_s"`
 
 	// Queue depths — the load signal a gateway's least-loaded picker and
 	// cluster backpressure estimator consume.
@@ -40,19 +53,11 @@ type HealthStatus struct {
 	JobsRegistry int `json:"jobs_registry"`  // live + retained finished jobs
 }
 
-// modelVersion resolves the advertised model version: the configured one,
-// or a stable digest of the detector names so even an unconfigured replica
-// advertises something comparable across a fleet.
-func (s *Server) modelVersion() string {
-	if s.cfg.ModelVersion != "" {
-		return s.cfg.ModelVersion
-	}
-	sum := sha256.Sum256([]byte(strings.Join(s.names, "\x00")))
-	return "models-" + hex.EncodeToString(sum[:8])
-}
-
-// health snapshots the serving state for /healthz.
+// health snapshots the serving state for /healthz. The whole document is
+// built from one model-set snapshot, so a reload landing mid-probe cannot
+// produce a mixed-generation answer.
 func (s *Server) health() HealthStatus {
+	ms := s.snap()
 	draining := s.draining.Load()
 	status := "ok"
 	if draining {
@@ -60,8 +65,9 @@ func (s *Server) health() HealthStatus {
 	}
 	return HealthStatus{
 		Status:       status,
-		Models:       s.names,
-		ModelVersion: s.modelVersion(),
+		Models:       ms.names,
+		ModelVersion: ms.version,
+		Engines:      ms.engineHealth(),
 		Draining:     draining,
 		UptimeS:      time.Since(s.started).Seconds(),
 		ScanQueue:    len(s.batcher.reqs),

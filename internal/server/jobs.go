@@ -33,6 +33,12 @@ type job struct {
 	target string
 	state  JobState
 
+	// modelVersion is the generation the job was submitted against;
+	// finishedVersion is the one its oracle was answering from when it
+	// finished. They differ exactly when a hot reload landed mid-attack.
+	modelVersion    string
+	finishedVersion string
+
 	created  time.Time
 	started  time.Time
 	finished time.Time
@@ -59,6 +65,14 @@ type JobView struct {
 	Target  string   `json:"target"`
 	State   JobState `json:"state"`
 	Created string   `json:"created"`
+
+	// ModelVersion is the generation the job was submitted against.
+	// ModelVersionAtFinish appears only when a hot reload swapped the
+	// resident set while the attack ran — the queries that produced the
+	// result straddled generations, which a reproducibility audit needs to
+	// know.
+	ModelVersion         string `json:"model_version,omitempty"`
+	ModelVersionAtFinish string `json:"model_version_at_finish,omitempty"`
 
 	Success    *bool   `json:"success,omitempty"`
 	Queries    *int    `json:"queries,omitempty"`
@@ -146,7 +160,7 @@ func (r *jobRegistry) size() int {
 // the pool (cancelled on forced shutdown) and bounded by the configured
 // per-job deadline. It returns ErrOverloaded when the pool queue or the
 // registry is full of live work, and ErrClosed once the registry drains.
-func (r *jobRegistry) submit(target string, run func(ctx context.Context, j *jobHandle)) (string, error) {
+func (r *jobRegistry) submit(target, modelVersion string, run func(ctx context.Context, j *jobHandle)) (string, error) {
 	now := time.Now()
 	r.mu.Lock()
 	r.evictLocked(now, 1)
@@ -158,10 +172,11 @@ func (r *jobRegistry) submit(target string, run func(ctx context.Context, j *job
 	}
 	r.seq++
 	j := &job{
-		id:      fmt.Sprintf("job-%06d", r.seq),
-		target:  target,
-		state:   JobQueued,
-		created: now,
+		id:           fmt.Sprintf("job-%06d", r.seq),
+		target:       target,
+		state:        JobQueued,
+		modelVersion: modelVersion,
+		created:      now,
 	}
 	r.jobs[j.id] = j
 	r.mu.Unlock()
@@ -199,10 +214,14 @@ func (r *jobRegistry) view(id string, includeAE bool) (JobView, bool) {
 		return JobView{}, false
 	}
 	v := JobView{
-		ID:      j.id,
-		Target:  j.target,
-		State:   j.state,
-		Created: j.created.UTC().Format(time.RFC3339Nano),
+		ID:           j.id,
+		Target:       j.target,
+		State:        j.state,
+		Created:      j.created.UTC().Format(time.RFC3339Nano),
+		ModelVersion: j.modelVersion,
+	}
+	if j.finishedVersion != "" && j.finishedVersion != j.modelVersion {
+		v.ModelVersionAtFinish = j.finishedVersion
 	}
 	if j.state == JobDone || j.state == JobFailed {
 		success, queries, rounds := j.success, j.queries, j.rounds
@@ -270,8 +289,9 @@ func (h *jobHandle) setRunning() {
 
 // finish records an attack result (or error) and flips the terminal state.
 // A partial result attached to an error (cancelled or oracle-failed attack)
-// still has its query/round spend recorded.
-func (h *jobHandle) finish(original []byte, res *core.Result, err error) {
+// still has its query/round spend recorded. modelVersion is the generation
+// the job's oracle ended on (empty when unknown).
+func (h *jobHandle) finish(original []byte, res *core.Result, err error, modelVersion string) {
 	var functional *bool
 	if err == nil && res.Success {
 		if ok, serr := sandbox.BehaviourPreserved(original, res.AE); serr == nil {
@@ -283,6 +303,7 @@ func (h *jobHandle) finish(original []byte, res *core.Result, err error) {
 	}
 	h.update(func(j *job) {
 		j.finished = time.Now()
+		j.finishedVersion = modelVersion
 		if res != nil {
 			j.queries = res.Queries
 			j.rounds = res.Rounds

@@ -36,6 +36,11 @@ type Metrics struct {
 	JobsEvicted   atomic.Int64 // finished jobs dropped from the registry (TTL or cap)
 	JobsCancelled atomic.Int64 // jobs ended by deadline expiry or shutdown cancellation
 
+	// Model hot-reload lifecycle.
+	Reloads        atomic.Int64 // successful model-set swaps
+	ReloadFailures atomic.Int64 // reloads rejected (load error or failed certification)
+	CachePurged    atomic.Int64 // score-cache entries dropped across all swaps
+
 	ScanLatency Histogram
 }
 
@@ -149,6 +154,10 @@ type MetricsSnapshot struct {
 	JobsEvicted   int64 `json:"jobs_evicted"`
 	JobsCancelled int64 `json:"jobs_cancelled"`
 
+	Reloads        int64 `json:"reloads"`
+	ReloadFailures int64 `json:"reload_failures"`
+	CachePurged    int64 `json:"cache_purged"`
+
 	// Registry gauges: current size and the max-live-jobs bound it is held
 	// under (0 = unbounded). Filled in by the Server, which owns the registry.
 	JobsRegistry    int `json:"jobs_registry"`
@@ -179,6 +188,9 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		OracleBreaks:   m.OracleBreaks.Load(),
 		JobsEvicted:    m.JobsEvicted.Load(),
 		JobsCancelled:  m.JobsCancelled.Load(),
+		Reloads:        m.Reloads.Load(),
+		ReloadFailures: m.ReloadFailures.Load(),
+		CachePurged:    m.CachePurged.Load(),
 		ScanLatency:    m.ScanLatency.snapshot(),
 	}
 	if s.Batches > 0 {

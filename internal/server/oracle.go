@@ -19,13 +19,21 @@ var ErrOracleUnavailable = errors.New("server: oracle unavailable (circuit open)
 // Oracle an attack queries. The context-aware path propagates errors and
 // cancellation; the legacy context-free path fails closed (detected), since
 // a scanner that cannot answer must not look like an evasion.
+//
+// The target is held by name, not index, and resolved against the generation
+// that answered each query: a hot reload may reorder the set mid-attack, and
+// a pinned index would silently read some other engine's label. A reload
+// that drops the target entirely fails the query instead.
 type residentOracle struct {
 	s    *Server
-	idx  int
 	name string
 }
 
 func (o *residentOracle) Name() string { return o.name }
+
+// ModelVersion implements core.ModelVersioner: the generation currently
+// answering this oracle's queries.
+func (o *residentOracle) ModelVersion() string { return o.s.snap().version }
 
 // DetectedContext implements core.ContextOracle. Each query is bounded by
 // the server's per-request timeout on top of the job's own deadline, and
@@ -39,7 +47,11 @@ func (o *residentOracle) DetectedContext(ctx context.Context, raw []byte) (bool,
 	if err != nil {
 		return false, err
 	}
-	return out.Labels[o.idx], nil
+	idx, ok := out.set.byName[o.name]
+	if !ok {
+		return false, fmt.Errorf("server: target %q no longer resident (model set %s)", o.name, out.set.version)
+	}
+	return out.Labels[idx], nil
 }
 
 // Detected implements core.Oracle for context-free callers.
@@ -71,6 +83,10 @@ type retryOracle struct {
 }
 
 func (o *retryOracle) Name() string { return o.inner.Name() }
+
+// UnwrapOracle implements core.OracleUnwrapper, so capability probes (model
+// version reporting) reach through the retry layer.
+func (o *retryOracle) UnwrapOracle() core.Oracle { return o.inner }
 
 // DetectedContext implements core.ContextOracle with retry semantics.
 // Cancellation is never retried: once ctx expires (job deadline, shutdown

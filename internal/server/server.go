@@ -30,11 +30,14 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"mpass/internal/core"
 	"mpass/internal/detect"
+	"mpass/internal/engine"
+	"mpass/internal/nn"
 )
 
 // AttackFunc runs one adversarial-example attack on original against the
@@ -45,11 +48,18 @@ import (
 type AttackFunc func(ctx context.Context, target detect.Detector, original []byte, oracle core.Oracle, seed int64) (*core.Result, error)
 
 // MPassAttack is the production AttackFunc: the full MPass pipeline with the
-// suite's known-model ensemble for the chosen target (paper footnote 6
-// excludes LightGBM) and the given benign-donor pool.
-func MPassAttack(suite *detect.Suite, donors [][]byte, maxQueries int) AttackFunc {
+// registry's gradient-capable engines as the known-model ensemble for the
+// chosen target (hard-label-only engines never join — the paper's footnote 6
+// LightGBM exclusion falls out of the capability probe) and the given
+// benign-donor pool. The ensemble is resolved when the job starts, from the
+// generation current at that moment, and stays pinned for the job's life.
+func MPassAttack(reg *engine.Registry, donors [][]byte, maxQueries int) AttackFunc {
 	return func(ctx context.Context, target detect.Detector, original []byte, oracle core.Oracle, seed int64) (*core.Result, error) {
-		cfg := core.DefaultConfig(suite.KnownFor(target.Name()), donors)
+		known := engine.GradientModels(reg.Current(), target.Name())
+		if len(known) == 0 {
+			return nil, fmt.Errorf("server: no gradient-capable known models resident for target %q", target.Name())
+		}
+		cfg := core.DefaultConfig(known, donors)
 		if maxQueries > 0 {
 			cfg.MaxQueries = maxQueries
 		}
@@ -66,15 +76,35 @@ func MPassAttack(suite *detect.Suite, donors [][]byte, maxQueries int) AttackFun
 // per field.
 type Config struct {
 	// Detectors is the resident suite; scan responses list models in this
-	// order. Required, non-empty.
+	// order. Exactly one of Detectors and Registry must be set.
 	Detectors []detect.Detector
+	// Registry supplies the resident models through the pluggable driver
+	// layer instead of Detectors: the serving snapshot is built from its
+	// current set, per-engine versions and health flow to /healthz, and
+	// POST /v1/models/reload can swap generations without a restart.
+	Registry *engine.Registry
 	// Attack builds each /v1/attack job's attack run. Nil disables the
 	// attack endpoints (501).
 	Attack AttackFunc
 
+	// Reload loads a candidate engine set for POST /v1/models/reload (the
+	// path argument is the request's optional ?path= override, empty for the
+	// configured default). Nil disables the endpoint (501).
+	Reload func(path string) (*engine.Set, error)
+	// Quant is the fixed-point table mode quantization-capable engines serve
+	// in; reload certification re-applies it to incoming engines and gates
+	// the swap on quant-vs-float parity.
+	Quant nn.QuantMode
+	// ProbeCorpus is the certification corpus reload candidates must score
+	// finitely (and quant-consistently) before they may serve. Empty
+	// synthesizes a deterministic default when Reload is configured.
+	ProbeCorpus [][]byte
+
 	// ModelVersion identifies the resident weight set on /healthz (e.g. a
 	// digest of the model file). Empty derives a stable digest of the
 	// detector names, so fleet-consistency checks work even unconfigured.
+	// Registry-backed servers ignore it: their version is the engine set's
+	// own content-addressed version, which must move on reload.
 	ModelVersion string
 
 	MaxBatch    int           // max requests per coalesced batch (default 32)
@@ -216,13 +246,16 @@ type Server struct {
 	cache   *scoreCache
 	jobs    *jobRegistry
 
-	names  []string
-	byName map[string]int
+	// models is the active generation; every request path resolves the
+	// resident set through one atomic load (models.go). registry, when
+	// configured, is kept in step with it across reloads.
+	models   atomic.Pointer[modelSet]
+	registry *engine.Registry
 
-	// Streaming scan path, resolved once at New: non-nil only when every
-	// detector can stream and label (Streamer + Thresholder).
-	streamers  []detect.Streamer
-	thresholds []float64
+	// reloadMu serializes POST /v1/models/reload; probes is the frozen
+	// certification corpus.
+	reloadMu sync.Mutex
+	probes   [][]byte
 
 	draining atomic.Bool
 	seedSeq  atomic.Int64
@@ -233,33 +266,41 @@ type Server struct {
 // New validates cfg, starts the batching dispatcher and the attack worker
 // pool, and returns the ready-to-serve Server.
 func New(cfg Config) (*Server, error) {
-	if len(cfg.Detectors) == 0 {
-		return nil, fmt.Errorf("server: no detectors configured")
+	if cfg.Registry != nil && len(cfg.Detectors) > 0 {
+		return nil, fmt.Errorf("server: configure Detectors or Registry, not both")
 	}
 	cfg.fillDefaults()
 	s := &Server{
-		cfg:     cfg,
-		cache:   newScoreCache(cfg.CacheSize),
-		names:   make([]string, len(cfg.Detectors)),
-		byName:  make(map[string]int, len(cfg.Detectors)),
-		started: time.Now(),
+		cfg:      cfg,
+		cache:    newScoreCache(cfg.CacheSize),
+		registry: cfg.Registry,
+		started:  time.Now(),
 	}
-	for i, d := range cfg.Detectors {
-		name := d.Name()
-		if _, dup := s.byName[name]; dup {
-			return nil, fmt.Errorf("server: duplicate detector name %q", name)
+	var ms *modelSet
+	if cfg.Registry != nil {
+		ms = newModelSetFromEngines(cfg.Registry.Current(), cfg.StreamThreshold < 0)
+	} else {
+		var err error
+		ms, err = newModelSetStatic(cfg.Detectors, cfg.ModelVersion, cfg.StreamThreshold < 0)
+		if err != nil {
+			return nil, err
 		}
-		s.names[i] = name
-		s.byName[name] = i
 	}
-	s.resolveStreamers()
-	s.batcher = newBatcher(cfg.Detectors, cfg.MaxBatch, cfg.ScanQueue, cfg.BatchWindow, &s.metrics)
+	s.models.Store(ms)
+	if cfg.Reload != nil {
+		s.probes = cfg.ProbeCorpus
+		if len(s.probes) == 0 {
+			s.probes = defaultProbeCorpus()
+		}
+	}
+	s.batcher = newBatcherSrc(s.snap, cfg.MaxBatch, cfg.ScanQueue, cfg.BatchWindow, &s.metrics)
 	s.jobs = newJobRegistry(cfg.AttackWorkers, cfg.AttackQueue,
 		cfg.JobDeadline, cfg.JobTTL, cfg.MaxJobs, cfg.DrainGrace, &s.metrics)
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/scan", s.handleScan)
 	s.mux.HandleFunc("POST /v1/attack", s.handleAttack)
+	s.mux.HandleFunc("POST /v1/models/reload", s.handleReload)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -293,10 +334,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // scan runs the cache -> batcher pipeline. wait selects backpressure
 // (internal oracle traffic) over shedding (interactive requests).
 func (s *Server) scan(ctx context.Context, raw []byte, wait bool) (scanOut, [32]byte, bool, error) {
-	key := sha256.Sum256(raw)
-	if out, ok := s.cache.get(key); ok {
+	sum := sha256.Sum256(raw)
+	if out, ok := s.cache.get(scoreKey{version: s.snap().version, sum: sum}); ok {
 		s.metrics.CacheHits.Add(1)
-		return out, key, true, nil
+		return out, sum, true, nil
 	}
 	s.metrics.CacheMisses.Add(1)
 	var out scanOut
@@ -307,10 +348,14 @@ func (s *Server) scan(ctx context.Context, raw []byte, wait bool) (scanOut, [32]
 		out, err = s.batcher.Score(ctx, raw)
 	}
 	if err != nil {
-		return scanOut{}, key, false, err
+		return scanOut{}, sum, false, err
 	}
-	s.cache.put(key, out)
-	return out, key, false, nil
+	// File the entry under the generation that actually scored it: if a
+	// reload lands between the lookup above and here, the result keys under
+	// the old version — which no lookup will ever hit again — instead of
+	// poisoning the new generation's segment.
+	s.cache.put(scoreKey{version: out.set.version, sum: sum}, out)
+	return out, sum, false, nil
 }
 
 // scanModelResult is one detector's verdict in a scan response.
@@ -322,11 +367,14 @@ type scanModelResult struct {
 
 // scanResponse is the POST /v1/scan response document.
 type scanResponse struct {
-	SHA256    string            `json:"sha256"`
-	Size      int               `json:"size"`
-	Cached    bool              `json:"cached"`
-	Malicious bool              `json:"malicious"` // any model flags it
-	Results   []scanModelResult `json:"results"`
+	SHA256 string `json:"sha256"`
+	Size   int    `json:"size"`
+	Cached bool   `json:"cached"`
+	// ModelVersion is the generation that produced these scores — under a
+	// hot reload, always the set all Results came from, never a mix.
+	ModelVersion string            `json:"model_version"`
+	Malicious    bool              `json:"malicious"` // any model flags it
+	Results      []scanModelResult `json:"results"`
 }
 
 func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
@@ -334,8 +382,8 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
-	if s.streamEligible(r) {
-		s.handleScanStream(w, r)
+	if ms := s.snap(); s.streamEligible(r, ms) {
+		s.handleScanStream(w, r, ms)
 		return
 	}
 	raw, ok := s.readBody(w, r)
@@ -353,11 +401,12 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := scanResponse{
-		SHA256: hex.EncodeToString(key[:]),
-		Size:   len(raw),
-		Cached: cached,
+		SHA256:       hex.EncodeToString(key[:]),
+		Size:         len(raw),
+		Cached:       cached,
+		ModelVersion: out.set.version,
 	}
-	for i, name := range s.names {
+	for i, name := range out.set.names {
 		resp.Results = append(resp.Results, scanModelResult{
 			Model: name, Score: out.Scores[i], Malicious: out.Labels[i],
 		})
@@ -382,31 +431,36 @@ func (s *Server) handleAttack(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotImplemented, "attack endpoint disabled")
 		return
 	}
+	// The submit-time snapshot pins the target detector and records the
+	// generation the job started against; oracle queries still flow through
+	// the live pipeline, so the job view can report both versions when a
+	// reload lands mid-attack.
+	ms := s.snap()
 	targetName := r.URL.Query().Get("target")
 	if targetName == "" {
-		targetName = s.names[0]
+		targetName = ms.names[0]
 	}
-	idx, ok := s.byName[targetName]
+	idx, ok := ms.byName[targetName]
 	if !ok {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown target %q (have %v)", targetName, s.names))
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown target %q (have %v)", targetName, ms.names))
 		return
 	}
 	raw, ok := s.readBody(w, r)
 	if !ok {
 		return
 	}
-	target := s.cfg.Detectors[idx]
+	target := ms.dets[idx]
 	// Oracle stack, innermost out: resident scan pipeline -> optional fault
 	// wrapper (tests, -fault-* flags) -> retry + circuit breaker -> the
 	// attack's own query counter (added by the AttackFunc caller below).
 	// Queries counted against the attack budget are therefore logical ones;
 	// retries absorb injected transients without charging the budget.
-	var oracle core.Oracle = &residentOracle{s: s, idx: idx, name: targetName}
+	var oracle core.Oracle = &residentOracle{s: s, name: targetName}
 	if s.cfg.OracleWrap != nil {
 		oracle = s.cfg.OracleWrap(oracle)
 	}
 	seed := s.cfg.Seed + s.seedSeq.Add(1)*7919
-	id, err := s.jobs.submit(targetName, func(ctx context.Context, h *jobHandle) {
+	id, err := s.jobs.submit(targetName, ms.version, func(ctx context.Context, h *jobHandle) {
 		retrying := &retryOracle{
 			inner:      oracle,
 			attempts:   s.cfg.OracleAttempts,
@@ -415,8 +469,9 @@ func (s *Server) handleAttack(w http.ResponseWriter, r *http.Request) {
 			breakAfter: s.cfg.OracleBreakAfter,
 			metrics:    &s.metrics,
 		}
-		res, aerr := s.cfg.Attack(ctx, target, raw, &core.CountingOracle{Oracle: retrying}, seed)
-		h.finish(raw, res, aerr)
+		counting := &core.CountingOracle{Oracle: retrying}
+		res, aerr := s.cfg.Attack(ctx, target, raw, counting, seed)
+		h.finish(raw, res, aerr, core.OracleModelVersion(counting))
 	})
 	switch {
 	case errors.Is(err, ErrClosed):

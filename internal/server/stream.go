@@ -19,51 +19,29 @@ import (
 	"mpass/internal/detect"
 )
 
-// resolveStreamers fills s.streamers/s.thresholds when every configured
-// detector supports the streaming path; otherwise both stay nil and every
-// scan takes the buffered pipeline.
-func (s *Server) resolveStreamers() {
-	if s.cfg.StreamThreshold < 0 {
-		return
-	}
-	streamers := make([]detect.Streamer, len(s.cfg.Detectors))
-	thresholds := make([]float64, len(s.cfg.Detectors))
-	for i, d := range s.cfg.Detectors {
-		st, ok := d.(detect.Streamer)
-		if !ok {
-			return
-		}
-		th, ok := d.(detect.Thresholder)
-		if !ok {
-			return
-		}
-		streamers[i] = st
-		thresholds[i] = th.DecisionThreshold()
-	}
-	s.streamers = streamers
-	s.thresholds = thresholds
-}
-
-// streamEligible routes a scan to the streaming pipeline: streaming must be
-// resolved, and the declared body length must exceed the threshold or be
-// unknown (chunked transfer encoding reports -1).
-func (s *Server) streamEligible(r *http.Request) bool {
-	if s.streamers == nil {
+// streamEligible routes a scan to the streaming pipeline: the generation
+// must have resolved streamers (modelSet.resolveStreamers), and the declared
+// body length must exceed the threshold or be unknown (chunked transfer
+// encoding reports -1).
+func (s *Server) streamEligible(r *http.Request, ms *modelSet) bool {
+	if ms.streamers == nil {
 		return false
 	}
 	return r.ContentLength < 0 || r.ContentLength > s.cfg.StreamThreshold
 }
 
-// handleScanStream scores one upload through the streaming scorers. The
-// body is read once in StreamChunk-sized pieces, each fanned to the
-// SHA-256 hasher and every detector's stream; nothing retains the chunk,
-// so peak memory is the chunk buffer plus the detectors' pooled scratch.
-func (s *Server) handleScanStream(w http.ResponseWriter, r *http.Request) {
+// handleScanStream scores one upload through ms's streaming scorers — the
+// snapshot its caller routed on, held for the whole request so a reload
+// mid-upload cannot mix generations. The body is read once in
+// StreamChunk-sized pieces, each fanned to the SHA-256 hasher and every
+// detector's stream; nothing retains the chunk, so peak memory is the chunk
+// buffer plus the detectors' pooled scratch.
+func (s *Server) handleScanStream(w http.ResponseWriter, r *http.Request, ms *modelSet) {
 	s.metrics.ScanRequests.Add(1)
 	start := time.Now()
 
-	streams := make([]detect.ScoreStream, len(s.streamers))
-	for i, st := range s.streamers {
+	streams := make([]detect.ScoreStream, len(ms.streamers))
+	for i, st := range ms.streamers {
 		streams[i] = st.NewStream()
 	}
 	// finish closes every stream exactly once — also on error paths, so
@@ -116,23 +94,24 @@ func (s *Server) handleScanStream(w http.ResponseWriter, r *http.Request) {
 	}
 
 	scores := finish()
-	out := scanOut{Scores: scores, Labels: make([]bool, len(scores))}
+	out := scanOut{Scores: scores, Labels: make([]bool, len(scores)), set: ms}
 	for i, sc := range scores {
-		out.Labels[i] = sc >= s.thresholds[i]
+		out.Labels[i] = sc >= ms.thresholds[i]
 	}
-	var key [32]byte
-	hasher.Sum(key[:0])
-	s.cache.put(key, out)
+	var sum [32]byte
+	hasher.Sum(sum[:0])
+	s.cache.put(scoreKey{version: ms.version, sum: sum}, out)
 
 	s.metrics.ScansStreamed.Add(1)
 	s.metrics.StreamedBytes.Add(total)
 	s.metrics.ScanLatency.Observe(time.Since(start))
 
 	resp := scanResponse{
-		SHA256: hex.EncodeToString(key[:]),
-		Size:   int(total),
+		SHA256:       hex.EncodeToString(sum[:]),
+		Size:         int(total),
+		ModelVersion: ms.version,
 	}
-	for i, name := range s.names {
+	for i, name := range ms.names {
 		resp.Results = append(resp.Results, scanModelResult{
 			Model: name, Score: out.Scores[i], Malicious: out.Labels[i],
 		})

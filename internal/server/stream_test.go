@@ -70,8 +70,9 @@ func TestScanStreamMatchesBuffered(t *testing.T) {
 	if got := s.metrics.StreamedBytes.Load(); got != int64(len(raw)) {
 		t.Fatalf("StreamedBytes = %d, want %d", got, len(raw))
 	}
-	// The streamed result is visible to the buffered pipeline's cache.
-	out, ok := s.cache.get(sum)
+	// The streamed result is visible to the buffered pipeline's cache,
+	// filed under the generation that streamed it.
+	out, ok := s.cache.get(scoreKey{version: s.snap().version, sum: sum})
 	if !ok {
 		t.Fatal("streamed scan result not cached")
 	}

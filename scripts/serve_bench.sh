@@ -10,11 +10,19 @@
 #          (hangs, transient errors, latency); every job must still reach
 #          a terminal state and the SIGTERM drain must stay bounded
 #                                                     (make serve-faults)
+#   reload smoke corpus persisted as a per-engine envelope directory, then
+#          mpass-load -reload swaps model generations mid-burst: every swap
+#          must certify and land, every scan must carry a generation the
+#          server really served, and /healthz must agree with the last swap
+#                                                     (make reload-smoke)
 set -eu
 
 mode="${1:-smoke}"
 daemonflags=""
 loadflags=""
+# Legacy monolithic gob by default; the reload mode overrides this with a
+# directory so mpassd persists (and reloads) per-engine envelopes instead.
+models="models.gob"
 case "$mode" in
 	smoke)
 		mal=24; ben=24; clients=4; requests=120; attacks=1
@@ -37,7 +45,18 @@ case "$mode" in
 		daemonflags="-fault-hang 0.2 -fault-error 0.3 -fault-latency 0.3 -fault-delay 20ms -job-deadline 10s"
 		loadflags="-faults"
 		;;
-	*) echo "usage: $0 [smoke|bench|faults]" >&2; exit 2 ;;
+	reload)
+		mal=24; ben=24; clients=4; requests=200; attacks=1
+		# The model path is a directory, so mpassd persists per-engine
+		# envelopes at boot and the reload loader re-reads them — identical
+		# bytes, so the drill also proves a same-weights swap is
+		# score-invisible. int32 serving makes every swap pass the quant
+		# parity certification, not just the health/finite gates.
+		models="models"
+		daemonflags="-quant int32"
+		loadflags="-reload 3 -bench-name ServeReload"
+		;;
+	*) echo "usage: $0 [smoke|bench|faults|reload]" >&2; exit 2 ;;
 esac
 
 tmp="$(mktemp -d)"
@@ -60,7 +79,7 @@ go build -o "$tmp/mpass-load" ./cmd/mpass-load
 # (quant serving in smoke, fault injection in faults).
 # shellcheck disable=SC2086
 "$tmp/mpassd" -addr 127.0.0.1:0 -addr-file "$tmp/addr" \
-	-models "$tmp/models.gob" -malware "$mal" -benign "$ben" \
+	-models "$tmp/$models" -malware "$mal" -benign "$ben" \
 	-max-queries 40 -drain 30s $daemonflags >&2 &
 pid=$!
 
