@@ -9,7 +9,7 @@ GO ?= go
 PARALLEL_PKGS = ./internal/parallel ./internal/tensor ./internal/nn \
                 ./internal/shapley ./internal/detect ./internal/av \
                 ./internal/server ./internal/features ./internal/gateway \
-                ./internal/faultinject ./internal/engine
+                ./internal/faultinject ./internal/engine ./internal/analysis
 
 # BENCH_N.json names follow the PR sequence and are append-only history:
 # benchjson refuses to overwrite an existing trajectory file, so a new run
@@ -18,10 +18,12 @@ BENCH_JSON ?= BENCH_4.json
 SERVE_BENCH_JSON ?= BENCH_5.json
 CLUSTER_BENCH_JSON ?= BENCH_6.json
 RELOAD_BENCH_JSON ?= BENCH_7.json
+LINT_BENCH_JSON ?= BENCH_8.json
 BENCHJSON_FORCE = $(if $(FORCE_BENCH),-force,)
 
-.PHONY: all build vet lint test race race-all bench bench-full bench-json \
-        quant-gate alloc serve-smoke serve-faults reload-smoke cluster-smoke ci
+.PHONY: all build vet lint lint-bench test race race-all bench bench-full \
+        bench-json quant-gate alloc serve-smoke serve-faults reload-smoke \
+        cluster-smoke ci
 
 all: build
 
@@ -33,10 +35,23 @@ vet:
 
 # lint runs the repo's own invariant analyzers (internal/analysis via
 # cmd/mpass-lint): goroutine discipline, weight-mutation guards,
-# determinism, typed atomics, bounded serving queues, and the
-# //mpass:zeroalloc pragma. Non-zero exit on any finding.
+# determinism, typed atomics, bounded serving queues, the
+# //mpass:zeroalloc pragma, and the round-2 dataflow set — snapshotonce
+# (one generation pin per request path), mutexguard (//mpass:guardedby
+# lock discipline), versionkey ((version, hash) cache keys), failclosed
+# (error-tainted scores never reach responses, caches, or nil-error
+# returns). Non-zero exit on any finding.
 lint:
 	$(GO) run ./cmd/mpass-lint ./...
+
+# lint-bench gates the dataflow round's cost: a full 11-analyzer run over
+# the loaded tree must stay within 2x of the PR 4 per-file baseline
+# (ns(baseline)/ns(full) >= 0.5). Writes $(LINT_BENCH_JSON) on first run
+# (append-only; FORCE_BENCH=1 regenerates).
+lint-bench:
+	$(GO) test -run '^$$' -bench 'Lint(Baseline|Full)$$' -benchtime=3x -count=1 \
+		./internal/analysis | $(GO) run ./cmd/benchjson $(BENCHJSON_FORCE) \
+		-gate 'BenchmarkLintBaseline,BenchmarkLintFull,0.5' -out $(LINT_BENCH_JSON)
 
 test:
 	$(GO) test ./...
@@ -118,4 +133,4 @@ cluster-smoke:
 alloc:
 	$(GO) test -run 'ZeroAlloc' -count=1 ./internal/nn
 
-ci: build vet lint test race alloc bench quant-gate serve-smoke serve-faults reload-smoke cluster-smoke
+ci: build vet lint lint-bench test race alloc bench quant-gate serve-smoke serve-faults reload-smoke cluster-smoke

@@ -3,13 +3,20 @@
 // suppression:
 //
 //	mpass-lint ./...                # plain findings, one per line
-//	mpass-lint -json ./...          # machine-readable findings
+//	mpass-lint -json ./...          # machine-readable report (schema v2)
 //	mpass-lint -run nakedgo,atomics # restrict the analyzer set
+//	mpass-lint -timing ./...        # per-analyzer wall time on stderr
 //	mpass-lint -list                # describe the analyzers
+//
+// The -json report is a SARIF-style envelope: schema_version, the analyzer
+// set with docs, per-analyzer wall time, and findings — each finding
+// carrying its optional call-path trace (the static call chain connecting
+// the reported line to the primitive operation behind it).
 //
 // Findings are suppressed case by case with
 // `//lint:ignore <analyzer> <reason>` on the flagged line or the line
-// above; the reason is mandatory. `make lint` wires this into `make ci`.
+// above; the reason is mandatory, a stale directive is itself a finding.
+// `make lint` wires this into `make ci`.
 package main
 
 import (
@@ -18,14 +25,31 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"mpass/internal/analysis"
 )
 
+// report is the -json schema (version 2). Version 1 was a bare Diagnostic
+// array; v2 wraps it with the run metadata CI dashboards need and extends
+// findings with traces.
+type report struct {
+	SchemaVersion int                   `json:"schema_version"`
+	Analyzers     []reportAnalyzer      `json:"analyzers"`
+	Findings      []analysis.Diagnostic `json:"findings"`
+}
+
+type reportAnalyzer struct {
+	Name       string  `json:"name"`
+	Doc        string  `json:"doc"`
+	DurationMS float64 `json:"duration_ms"`
+}
+
 func main() {
-	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	jsonOut := flag.Bool("json", false, "emit a schema-v2 JSON report")
 	run := flag.String("run", "", "comma-separated analyzer subset (default: all)")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	timing := flag.Bool("timing", false, "print per-analyzer wall time to stderr")
 	dir := flag.String("C", ".", "directory to resolve package patterns in")
 	flag.Parse()
 
@@ -33,6 +57,8 @@ func main() {
 		for _, a := range analysis.All() {
 			fmt.Printf("%-13s %s\n", a.Name, a.Doc)
 		}
+		fmt.Printf("%-13s %s\n", "lint", "(pseudo) malformed //lint:ignore directives")
+		fmt.Printf("%-13s %s\n", "suppressions", "(pseudo) //lint:ignore directives that no longer fire")
 		return
 	}
 
@@ -53,20 +79,43 @@ func main() {
 		fatal(err)
 	}
 
-	diags := analysis.Run(pkgs, analyzers)
+	diags, timings := analysis.RunTimed(pkgs, analyzers)
 	relativize(diags, *dir)
+	if *timing {
+		var total time.Duration
+		for _, t := range timings {
+			fmt.Fprintf(os.Stderr, "%-13s %8.2fms\n", t.Analyzer, float64(t.Duration.Microseconds())/1000)
+			total += t.Duration
+		}
+		fmt.Fprintf(os.Stderr, "%-13s %8.2fms\n", "total", float64(total.Microseconds())/1000)
+	}
 	if *jsonOut {
+		rep := report{SchemaVersion: 2, Findings: diags}
+		if rep.Findings == nil {
+			rep.Findings = []analysis.Diagnostic{}
+		}
+		docs := map[string]string{}
+		for _, a := range analysis.All() {
+			docs[a.Name] = a.Doc
+		}
+		for _, t := range timings {
+			rep.Analyzers = append(rep.Analyzers, reportAnalyzer{
+				Name:       t.Analyzer,
+				Doc:        docs[t.Analyzer],
+				DurationMS: float64(t.Duration.Microseconds()) / 1000,
+			})
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if diags == nil {
-			diags = []analysis.Diagnostic{}
-		}
-		if err := enc.Encode(diags); err != nil {
+		if err := enc.Encode(rep); err != nil {
 			fatal(err)
 		}
 	} else {
 		for _, d := range diags {
 			fmt.Println(d)
+			for _, step := range d.Trace {
+				fmt.Printf("\tvia %s:%d:%d: %s\n", step.File, step.Line, step.Col, step.Func)
+			}
 		}
 	}
 	if len(diags) > 0 {
@@ -81,10 +130,17 @@ func relativize(diags []analysis.Diagnostic, dir string) {
 	if err != nil {
 		return
 	}
+	rel := func(p string) string {
+		if r, err := filepath.Rel(abs, p); err == nil && !filepath.IsAbs(r) {
+			return r
+		}
+		return p
+	}
 	for i := range diags {
-		if rel, err := filepath.Rel(abs, diags[i].File); err == nil && !filepath.IsAbs(rel) {
-			diags[i].File = rel
-			diags[i].Pos.Filename = rel
+		diags[i].File = rel(diags[i].File)
+		diags[i].Pos.Filename = diags[i].File
+		for j := range diags[i].Trace {
+			diags[i].Trace[j].File = rel(diags[i].Trace[j].File)
 		}
 	}
 }

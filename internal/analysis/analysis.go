@@ -9,12 +9,23 @@
 // regression after it ships; the analyzers here reject the shapes of code
 // that cause one at lint time.
 //
+// Round 2 added a dataflow layer on top of the per-file walks: a
+// cross-package call graph (callgraph.go), per-function facts that
+// analyzers export and import in dependency order (facts.go), and a
+// forward abstract interpreter over the serving-tier domain —
+// snapshot-load, lock-held region, ctx-derived, error-tainted
+// (dataflow.go). The snapshotonce, mutexguard, versionkey, and failclosed
+// analyzers are built on it.
+//
 // Findings can be silenced case by case with
 //
 //	//lint:ignore <analyzer> <reason>
 //
 // placed at the end of the flagged line or on its own line directly above.
-// The reason is mandatory; a directive without one is itself reported.
+// The reason is mandatory; a directive without one is itself reported. A
+// directive whose analyzer no longer fires on the covered lines is
+// reported by the pseudo-analyzer "suppressions", so dead waivers cannot
+// accumulate.
 package analysis
 
 import (
@@ -24,30 +35,55 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Analyzer is one named invariant check. Run inspects a single
-// type-checked package and reports findings through the Pass.
+// type-checked package and reports findings through the Pass. Init, when
+// set, runs once per session before any analyzer's Run — it is where an
+// analyzer computes global state (call-graph prepasses) and exports facts.
+// Needs names the analyzers whose facts this one imports; Run orders
+// execution so producers complete first.
 type Analyzer struct {
-	Name string // short identifier, used in //lint:ignore directives
-	Doc  string // one-line description of the invariant
-	Run  func(*Pass)
+	Name  string // short identifier, used in //lint:ignore directives
+	Doc   string // one-line description of the invariant
+	Needs []string
+	Init  func(*Session)
+	Run   func(*Pass)
 }
 
-// Pass hands one package to one analyzer.
+// Pass hands one package to one analyzer, with the session shared by the
+// whole run for fact import and call-graph access.
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	Sess     *Session
 	diags    *[]Diagnostic
 }
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportTrace(pos, nil, format, args...)
+}
+
+// ReportTrace records a finding with an attached call-path trace: the
+// chain of call sites connecting the reported position to the primitive
+// operation that justifies the finding.
+func (p *Pass) ReportTrace(pos token.Pos, trace []TraceStep, format string, args ...any) {
 	*p.diags = append(*p.diags, Diagnostic{
 		Pos:      p.Pkg.Fset.Position(pos),
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
+		Trace:    trace,
 	})
+}
+
+// TraceStep is one hop of a diagnostic's call-path trace.
+type TraceStep struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Func string `json:"func"`
 }
 
 // Diagnostic is one finding, resolved to a concrete file position.
@@ -58,6 +94,7 @@ type Diagnostic struct {
 	Col      int            `json:"col"`
 	Analyzer string         `json:"analyzer"`
 	Message  string         `json:"message"`
+	Trace    []TraceStep    `json:"trace,omitempty"`
 }
 
 func (d Diagnostic) String() string {
@@ -74,6 +111,13 @@ type Package struct {
 	Info    *types.Info
 }
 
+// Timing is one analyzer's wall-clock share of a run. The pseudo-entry
+// "session" covers call-graph construction plus every analyzer's Init.
+type Timing struct {
+	Analyzer string        `json:"analyzer"`
+	Duration time.Duration `json:"duration_ns"`
+}
+
 // All returns the full analyzer set in reporting order.
 func All() []*Analyzer {
 	return []*Analyzer{
@@ -84,6 +128,10 @@ func All() []*Analyzer {
 		BoundedQueue,
 		CtxFlow,
 		ZeroAlloc,
+		SnapshotOnce,
+		MutexGuard,
+		VersionKey,
+		FailClosed,
 	}
 }
 
@@ -111,17 +159,50 @@ func ByName(list string) ([]*Analyzer, error) {
 	return out, nil
 }
 
-// Run applies every analyzer to every package, drops findings covered by a
-// //lint:ignore directive, and returns the rest sorted by position. A
-// malformed directive (missing analyzer name or reason) is reported as a
-// finding of the pseudo-analyzer "lint".
+// Run applies the analyzers to every package, drops findings covered by a
+// //lint:ignore directive, and returns the rest sorted by position.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
-	var raw []Diagnostic
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			a.Run(&Pass{Analyzer: a, Pkg: pkg, diags: &raw})
+	diags, _ := RunTimed(pkgs, analyzers)
+	return diags
+}
+
+// RunTimed is Run plus per-analyzer wall-time. The run is analyzer-major
+// in Needs order: every fact producer's Init has completed before any Run
+// starts, and each analyzer sweeps all packages before the next begins, so
+// cross-package facts are complete when imported.
+//
+// Suppression handling reports two pseudo-analyzers of its own: "lint" for
+// malformed directives (missing analyzer name or reason) and
+// "suppressions" for stale ones — a directive that covered nothing this
+// run, provided its analyzer actually ran (so a subset -run does not flag
+// other analyzers' waivers) or is unknown to the framework entirely.
+func RunTimed(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []Timing) {
+	ordered, err := orderByNeeds(analyzers)
+	if err != nil {
+		// A Needs cycle is a bug in the analyzer set, not in the analyzed
+		// code; fail loudly.
+		panic(err)
+	}
+
+	var timings []Timing
+	start := time.Now()
+	sess := NewSession(pkgs)
+	for _, a := range All() {
+		if a.Init != nil {
+			a.Init(sess)
 		}
 	}
+	timings = append(timings, Timing{Analyzer: "session", Duration: time.Since(start)})
+
+	var raw []Diagnostic
+	for _, a := range ordered {
+		t0 := time.Now()
+		for _, pkg := range pkgs {
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, Sess: sess, diags: &raw})
+		}
+		timings = append(timings, Timing{Analyzer: a.Name, Duration: time.Since(t0)})
+	}
+	raw = dedup(raw)
 
 	sup, malformed := collectSuppressions(pkgs)
 	var out []Diagnostic
@@ -132,6 +213,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		out = append(out, d)
 	}
 	out = append(out, malformed...)
+	out = append(out, staleSuppressions(sup, ordered)...)
 
 	for i := range out {
 		out[i].File = out[i].Pos.Filename
@@ -151,22 +233,99 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
+	return out, timings
+}
+
+// dedup removes repeated identical findings: dataflow loop fixpoints visit
+// loop bodies more than once, and the same violation re-reported from a
+// later iteration carries no new information.
+func dedup(diags []Diagnostic) []Diagnostic {
+	seen := map[string]bool{}
+	var out []Diagnostic
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d:%d:%s:%s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, d)
+	}
 	return out
 }
 
-// suppressions maps file -> line -> analyzer names silenced on that line.
-// A directive covers its own line (trailing-comment form) and the line
-// below it (directive-above form).
-type suppressions map[string]map[int]map[string]bool
+// staleSuppressions turns unused directives into findings. Two rounds: the
+// first flags ordinary stale directives and lets a //lint:ignore
+// suppressions waiver (with a reason) cover them; the second flags
+// suppressions-waivers that themselves covered nothing.
+func staleSuppressions(sup *suppressions, ran []*Analyzer) []Diagnostic {
+	active := map[string]bool{"lint": true, "suppressions": true}
+	for _, a := range ran {
+		active[a.Name] = true
+	}
+	known := map[string]bool{"lint": true, "suppressions": true, "*": true}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
 
-func (s suppressions) covers(d Diagnostic) bool {
-	lines := s[d.Pos.Filename]
+	stale := func(wantSupWaivers bool) []Diagnostic {
+		var out []Diagnostic
+		for _, e := range sup.entries {
+			if e.used || (e.analyzer == "suppressions") != wantSupWaivers {
+				continue
+			}
+			reason := "never fires there"
+			if !known[e.analyzer] {
+				reason = "no such analyzer"
+			} else if !active[e.analyzer] {
+				continue
+			}
+			out = append(out, Diagnostic{
+				Pos:      e.pos,
+				Analyzer: "suppressions",
+				Message: fmt.Sprintf("stale //lint:ignore %s: the analyzer %s; delete the directive or re-justify it",
+					e.analyzer, reason),
+			})
+		}
+		return out
+	}
+
+	var out []Diagnostic
+	for _, d := range stale(false) {
+		if !sup.covers(d) {
+			out = append(out, d)
+		}
+	}
+	out = append(out, stale(true)...)
+	return out
+}
+
+// supEntry is one parsed //lint:ignore directive and whether it covered a
+// finding this run.
+type supEntry struct {
+	pos      token.Position
+	analyzer string
+	used     bool
+}
+
+// suppressions indexes directives by file -> line -> analyzer. A directive
+// covers its own line (trailing-comment form) and the line below it
+// (directive-above form).
+type suppressions struct {
+	index   map[string]map[int]map[string]*supEntry
+	entries []*supEntry
+}
+
+func (s *suppressions) covers(d Diagnostic) bool {
+	lines := s.index[d.Pos.Filename]
 	if lines == nil {
 		return false
 	}
 	for _, ln := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
-		if lines[ln][d.Analyzer] || lines[ln]["*"] {
-			return true
+		for _, name := range [2]string{d.Analyzer, "*"} {
+			if e := lines[ln][name]; e != nil {
+				e.used = true
+				return true
+			}
 		}
 	}
 	return false
@@ -177,16 +336,17 @@ const ignoreDirective = "lint:ignore"
 // collectSuppressions scans every comment in every file for lint:ignore
 // directives, returning the suppression index and diagnostics for
 // malformed directives.
-func collectSuppressions(pkgs []*Package) (suppressions, []Diagnostic) {
-	sup := suppressions{}
+func collectSuppressions(pkgs []*Package) (*suppressions, []Diagnostic) {
+	sup := &suppressions{index: map[string]map[int]map[string]*supEntry{}}
 	var malformed []Diagnostic
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
-					text := strings.TrimPrefix(c.Text, "//")
-					text = strings.TrimSpace(text)
-					if !strings.HasPrefix(text, ignoreDirective) {
+					// Directive form only: no space after //, like go:build.
+					// "// lint:ignore ..." is prose about a directive, not one.
+					text, isLine := strings.CutPrefix(c.Text, "//")
+					if !isLine || !strings.HasPrefix(text, ignoreDirective) {
 						continue
 					}
 					pos := pkg.Fset.Position(c.Pos())
@@ -199,15 +359,17 @@ func collectSuppressions(pkgs []*Package) (suppressions, []Diagnostic) {
 						})
 						continue
 					}
-					lines := sup[pos.Filename]
+					lines := sup.index[pos.Filename]
 					if lines == nil {
-						lines = map[int]map[string]bool{}
-						sup[pos.Filename] = lines
+						lines = map[int]map[string]*supEntry{}
+						sup.index[pos.Filename] = lines
 					}
 					if lines[pos.Line] == nil {
-						lines[pos.Line] = map[string]bool{}
+						lines[pos.Line] = map[string]*supEntry{}
 					}
-					lines[pos.Line][fields[0]] = true
+					entry := &supEntry{pos: pos, analyzer: fields[0]}
+					lines[pos.Line][fields[0]] = entry
+					sup.entries = append(sup.entries, entry)
 				}
 			}
 		}

@@ -3,11 +3,15 @@ package analysis
 import "go/ast"
 
 // boundedQueuePackages are the request-serving tiers: the replica server
-// and the gateway in front of it. Both sit between an HTTP caller and a
-// queue, so both owe the caller an explicit shed instead of a silent block.
+// and the gateway in front of it, plus the recovery and visa layers that
+// sit on the same request paths (scoped in lint round 2). All of them sit
+// between an HTTP caller and a queue, so all owe the caller an explicit
+// shed instead of a silent block.
 var boundedQueuePackages = []string{
 	"internal/server",
 	"internal/gateway",
+	"internal/recovery",
+	"internal/visa",
 }
 
 // BoundedQueue flags bare channel sends in the serving tiers.

@@ -1,0 +1,169 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The call graph is the cross-package backbone of the dataflow layer: one
+// pass over every loaded root package resolves each static call site to the
+// *types.Func it invokes, so per-function summaries (snapshot loads, lock
+// expectations) can propagate from callee to caller and diagnostics can
+// carry the call path that connects a finding to the primitive operation
+// that justifies it.
+//
+// Resolution is deliberately static and concrete: package-level functions,
+// methods called on concrete receivers, and method values. Calls through
+// interfaces, function-typed fields, and function parameters have no single
+// static callee and contribute no edge — the analyzers that consume the
+// graph treat an unresolved call as a no-op, which keeps them quiet rather
+// than wrong (a lint that cries wolf on dynamic dispatch gets suppressed
+// wholesale and guards nothing).
+
+// CallSite is one resolved static call inside a function body.
+type CallSite struct {
+	Callee *types.Func
+	Pos    token.Pos
+}
+
+// CallNode is one declared function with its outgoing static calls.
+type CallNode struct {
+	Func  *types.Func
+	Decl  *ast.FuncDecl
+	Pkg   *Package
+	Calls []CallSite
+}
+
+// CallGraph indexes every function declared in the loaded root packages.
+type CallGraph struct {
+	nodes map[*types.Func]*CallNode
+	order []*types.Func // insertion order, for deterministic iteration
+}
+
+// buildCallGraph walks every function declaration in pkgs and records its
+// resolved static call sites. Function literals are not graph nodes: a
+// closure has no *types.Func identity, and its body executes under whatever
+// function eventually invokes it — the dataflow engine analyzes literal
+// bodies separately instead.
+func buildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{nodes: map[*types.Func]*CallNode{}}
+	for _, pkg := range pkgs {
+		forEachFunc(pkg, func(fd *ast.FuncDecl) {
+			fn, isFn := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !isFn {
+				return
+			}
+			node := &CallNode{Func: fn, Decl: fd, Pkg: pkg}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, isLit := n.(*ast.FuncLit); isLit {
+					// A closure's calls happen when the closure runs, not
+					// when the enclosing function does; attributing them
+					// here would invent paths that never execute together.
+					_ = lit
+					return false
+				}
+				call, isCall := n.(*ast.CallExpr)
+				if !isCall {
+					return true
+				}
+				if callee := StaticCallee(pkg.Info, call); callee != nil {
+					node.Calls = append(node.Calls, CallSite{Callee: callee, Pos: call.Pos()})
+				}
+				return true
+			})
+			g.nodes[fn] = node
+			g.order = append(g.order, fn)
+		})
+	}
+	return g
+}
+
+// StaticCallee resolves call to the concrete *types.Func it invokes, or nil
+// when the callee is dynamic (interface dispatch, func values, builtins,
+// conversions).
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, isFn := info.Uses[fun].(*types.Func); isFn {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel := info.Selections[fun]; sel != nil {
+			// Methods: only concrete receivers give a static callee.
+			fn, isFn := sel.Obj().(*types.Func)
+			if isFn && !types.IsInterface(sel.Recv()) {
+				return fn
+			}
+			return nil
+		}
+		// Package-qualified function: pkg.Func.
+		if fn, isFn := info.Uses[fun.Sel].(*types.Func); isFn {
+			return fn
+		}
+	}
+	return nil
+}
+
+// Node returns fn's call-graph entry, or nil for functions outside the
+// loaded root packages (stdlib, dynamic).
+func (g *CallGraph) Node(fn *types.Func) *CallNode { return g.nodes[fn] }
+
+// Funcs returns every declared function in deterministic (load) order.
+func (g *CallGraph) Funcs() []*types.Func { return g.order }
+
+// Callers returns the functions with at least one static call to fn, in
+// deterministic order.
+func (g *CallGraph) Callers(fn *types.Func) []*types.Func {
+	var out []*types.Func
+	for _, caller := range g.order {
+		for _, site := range g.nodes[caller].Calls {
+			if site.Callee == fn {
+				out = append(out, caller)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// PathTo returns a shortest static call chain from `from` to `to` as the
+// sequence of call sites traversed, or nil when no path exists. It is the
+// trace attached to cross-function diagnostics: each step is "this call is
+// how the property reaches you".
+func (g *CallGraph) PathTo(from, to *types.Func) []CallSite {
+	if from == to {
+		return []CallSite{}
+	}
+	type hop struct {
+		fn   *types.Func
+		via  CallSite
+		prev *hop
+	}
+	seen := map[*types.Func]bool{from: true}
+	queue := []*hop{{fn: from}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		node := g.nodes[cur.fn]
+		if node == nil {
+			continue
+		}
+		for _, site := range node.Calls {
+			if seen[site.Callee] {
+				continue
+			}
+			next := &hop{fn: site.Callee, via: site, prev: cur}
+			if site.Callee == to {
+				var path []CallSite
+				for h := next; h.prev != nil; h = h.prev {
+					path = append([]CallSite{h.via}, path...)
+				}
+				return path
+			}
+			seen[site.Callee] = true
+			queue = append(queue, next)
+		}
+	}
+	return nil
+}

@@ -9,12 +9,16 @@ import (
 // every wait must be interruptible through a context threaded from the
 // caller. internal/core is exempt — its context-free Attack entry point is
 // a documented legacy surface, and the determinism analyzer already bans
-// wall-clock reads there.
+// wall-clock reads there. internal/recovery and internal/visa joined the
+// scope in lint round 2: both run under request or drain deadlines and owe
+// their callers the same interruptibility.
 var ctxflowPackages = []string{
 	"internal/server",
 	"internal/gateway",
 	"internal/parallel",
 	"internal/faultinject",
+	"internal/recovery",
+	"internal/visa",
 }
 
 // CtxFlow enforces context threading on the serving path:

@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// failclosed enforces the serving tier's error posture: a score, label,
+// or response value produced alongside an error — by an oracle query, a
+// transport round-trip, or an engine call — is garbage until that error
+// has been checked, and must not reach a served response, a cache
+// insert, or a nil-error return. The adversarial-ML literature's
+// recurring harness bug is exactly this shape: a failed oracle query
+// silently read as "not detected", which both corrupts evaluation and,
+// in serving, turns infrastructure faults into false negatives. The
+// repo's contract is fail closed — treat errors as detected / 5xx.
+//
+// The dataflow engine seeds SrcErrTainted on the non-error results of
+// multi-result calls into the serving packages (and net/http transports),
+// links them to the error variable, and clears the taint only on the
+// err == nil side of a check — so code that uses the value inside the
+// err != nil branch, or before any check at all, still reports. Sinks:
+//
+//   - calls that hand a tainted value to an http.ResponseWriter (helper
+//     or method on the writer itself);
+//   - cache inserts (put on a *cache type) of a tainted key or value;
+//   - returning a tainted value alongside a literal nil error, which
+//     masks the failure as success for the caller.
+//
+// `return zeroValue, err` and explicit fail-closed branches
+// (`if err != nil { return true, nil }` with a constant) pass untouched.
+
+var failClosedPackages = []string{"internal/server", "internal/gateway", "internal/core"}
+
+// failClosedSources are the packages whose multi-result calls seed error
+// taint. Engine calls are sources (scores come from there) even though
+// engine code itself is not checked for sinks.
+var failClosedSources = []string{"internal/server", "internal/gateway", "internal/core", "internal/engine"}
+
+var FailClosed = &Analyzer{
+	Name:  "failclosed",
+	Doc:   "error-tainted scores/labels never reach responses, caches, or nil-error returns",
+	Needs: []string{"snapshotonce"},
+	Run:   runFailClosed,
+}
+
+func runFailClosed(pass *Pass) {
+	if !pathWithinAny(pass.Pkg.PkgPath, failClosedPackages) {
+		return
+	}
+	sess := pass.Sess
+	cfg := &flowConfig{
+		loaderResult: func(fn *types.Func) bool { return isLoader(sess, fn) },
+		errSource:    isErrTaintSource,
+	}
+	cfg.visit = func(c *flowCtx, n ast.Node, st *flowState) {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCallSink(pass, c, n)
+		case *ast.ReturnStmt:
+			checkNilErrReturn(pass, c, n)
+		}
+	}
+	runFlow(sess, pass.Pkg, cfg)
+}
+
+// isErrTaintSource reports whether call's non-error results should be
+// treated as garbage until the error is checked: calls resolved into the
+// serving packages, plus net/http client/transport round-trips.
+func isErrTaintSource(pkg *Package, call *ast.CallExpr) bool {
+	callee := StaticCallee(pkg.Info, call)
+	if callee == nil || callee.Pkg() == nil {
+		return false
+	}
+	path := callee.Pkg().Path()
+	if pathWithinAny(path, failClosedSources) {
+		return true
+	}
+	if path == "net/http" {
+		switch callee.Name() {
+		case "Do", "Get", "Post", "PostForm", "Head", "RoundTrip":
+			return true
+		}
+	}
+	return false
+}
+
+// checkCallSink reports tainted arguments handed to a response write or a
+// cache insert.
+func checkCallSink(pass *Pass, c *flowCtx, call *ast.CallExpr) {
+	sink := ""
+	switch {
+	case isResponseSink(c.Pkg, call):
+		sink = "a served response"
+	case isCacheInsert(c.Pkg, call):
+		sink = "a cache insert"
+	default:
+		return
+	}
+	for _, arg := range call.Args {
+		if isResponseWriterType(c.Pkg.Info.TypeOf(arg)) {
+			continue
+		}
+		if c.Value(arg)&SrcErrTainted != 0 {
+			pass.Reportf(call.Pos(),
+				"error-tainted %s flows into %s before its error is checked; add a fail-closed branch (detected / 5xx) first",
+				types.ExprString(arg), sink)
+		}
+	}
+}
+
+// isResponseSink matches calls that can emit bytes to the client: any
+// call taking an http.ResponseWriter argument (writeJSON-style helpers),
+// or a method invoked on the ResponseWriter itself.
+func isResponseSink(pkg *Package, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		if isResponseWriterType(pkg.Info.TypeOf(arg)) {
+			return true
+		}
+	}
+	if sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr); isSel {
+		if selection := pkg.Info.Selections[sel]; selection != nil {
+			return isResponseWriterType(selection.Recv())
+		}
+	}
+	return false
+}
+
+func isResponseWriterType(t types.Type) bool {
+	named := namedType(t)
+	return named != nil && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "net/http" && named.Obj().Name() == "ResponseWriter"
+}
+
+// checkNilErrReturn reports `return taintedValue, ..., nil` in functions
+// whose last result is an error: the failure is being masked as success.
+func checkNilErrReturn(pass *Pass, c *flowCtx, ret *ast.ReturnStmt) {
+	n := len(ret.Results)
+	if n < 2 {
+		return
+	}
+	last, isIdent := ast.Unparen(ret.Results[n-1]).(*ast.Ident)
+	if !isIdent || last.Name != "nil" {
+		return
+	}
+	// The enclosing function's signature decides whether the nil is an
+	// error result (a literal nil's own type is untyped).
+	ft := c.Fn.Type
+	if c.Lit != nil {
+		ft = c.Lit.Type
+	}
+	if ft.Results == nil || len(ft.Results.List) == 0 {
+		return
+	}
+	lastField := ft.Results.List[len(ft.Results.List)-1]
+	if t := c.Pkg.Info.TypeOf(lastField.Type); t == nil || !isErrorType(t) {
+		return
+	}
+	for _, r := range ret.Results[:n-1] {
+		if c.Value(r)&SrcErrTainted != 0 {
+			pass.Reportf(ret.Pos(),
+				"returning error-tainted %s with a nil error masks the failed query as success; fail closed (or propagate the error)",
+				types.ExprString(r))
+		}
+	}
+}

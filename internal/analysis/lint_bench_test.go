@@ -1,0 +1,37 @@
+package analysis
+
+import "testing"
+
+// The lint benchmarks price the dataflow round against the PR 4 per-file
+// baseline on the same loaded tree. Loading and type-checking happen once
+// outside the timed loop — the measured cost is one Run: session build
+// (call graph, primitive summaries, every Init) plus the analyzer sweeps.
+// The session is shared overhead in both measurements, so the gate
+// (`make lint-bench`: full <= 2x baseline) prices exactly what round 2
+// added — the four dataflow walks and the fact propagation.
+
+func benchLint(b *testing.B, analyzers []*Analyzer) {
+	pkgs, err := Load("../..", "./...")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(pkgs, analyzers)
+	}
+}
+
+// BenchmarkLintBaseline runs the pre-dataflow analyzer set (PR 4 scope:
+// per-file AST walks only).
+func BenchmarkLintBaseline(b *testing.B) {
+	base, err := ByName("nakedgo,weightsguard,determinism,atomics,boundedqueue,ctxflow,zeroalloc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchLint(b, base)
+}
+
+// BenchmarkLintFull runs all eleven analyzers — the `make lint` set.
+func BenchmarkLintFull(b *testing.B) {
+	benchLint(b, All())
+}

@@ -1,0 +1,181 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// mutexguard enforces declared lock discipline: a struct field annotated
+//
+//	//mpass:guardedby <mu>
+//
+// (doc or line comment on the field; <mu> names a sibling sync.Mutex or
+// sync.RWMutex field) may only be read or written while that mutex is
+// held on every path reaching the access. The dataflow engine tracks the
+// must-held set through branches, selects, defers (a deferred Unlock
+// keeps the region held to the end of the body), and the merge at joins
+// is an intersection — so "locked on one arm only" accesses report.
+//
+// Two contracts exempt an access by granting entry-held state instead of
+// silencing the check: the repo's `...Locked` method-name convention
+// (caller holds the receiver's mutexes), and an explicit
+// `//mpass:locked <mu>` doc pragma. Function literals are analyzed with
+// an empty held set: a closure may run long after the creating region
+// unlocked.
+//
+// This covers the serving tier's jobRegistry.mu, scoreCache.mu,
+// batcher.mu, and the gateway replica mu statically — invariants that
+// previously only `-race` drills exercised, probabilistically.
+
+const mutexGuardDataKey = "mutexguard"
+
+type mutexGuardData struct {
+	// guards maps an annotated field to its guarding mutex field name.
+	guards map[*types.Var]string
+	// owners is the set of packages declaring at least one annotation;
+	// guarded fields are unexported in practice, so only their declaring
+	// package needs the (comparatively expensive) dataflow walk.
+	owners map[*types.Package]bool
+	// bad records malformed annotations, reported by the declaring
+	// package's pass.
+	bad []Diagnostic
+}
+
+var MutexGuard = &Analyzer{
+	Name: "mutexguard",
+	Doc:  "fields marked //mpass:guardedby mu are only touched while mu is held",
+	Init: mutexGuardInit,
+	Run:  runMutexGuard,
+}
+
+const guardedByPragma = "mpass:guardedby"
+
+func mutexGuardInit(sess *Session) {
+	data := &mutexGuardData{
+		guards: map[*types.Var]string{},
+		owners: map[*types.Package]bool{},
+	}
+	for _, pkg := range sess.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				st, isStruct := n.(*ast.StructType)
+				if isStruct {
+					collectGuards(pkg, st, data)
+				}
+				return true
+			})
+		}
+	}
+	sess.PutData(mutexGuardDataKey, data)
+}
+
+func collectGuards(pkg *Package, st *ast.StructType, data *mutexGuardData) {
+	for _, field := range st.Fields.List {
+		mu := guardAnnotation(field)
+		if mu == "" {
+			continue
+		}
+		if !structHasMutex(pkg, st, mu) {
+			data.bad = append(data.bad, Diagnostic{
+				Pos:      pkg.Fset.Position(field.Pos()),
+				Analyzer: "mutexguard",
+				Message: "//mpass:guardedby " + mu +
+					": no sibling sync.Mutex/RWMutex field named \"" + mu + "\"",
+			})
+			continue
+		}
+		for _, name := range field.Names {
+			if fv, isVar := pkg.Info.Defs[name].(*types.Var); isVar {
+				data.guards[fv] = mu
+				data.owners[pkg.Types] = true
+			}
+		}
+	}
+}
+
+// guardAnnotation extracts the mutex name from a field's doc or line
+// comment, or "" when unannotated.
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if rest, has := strings.CutPrefix(text, guardedByPragma+" "); has {
+				if fields := strings.Fields(rest); len(fields) > 0 {
+					return fields[0]
+				}
+			}
+		}
+	}
+	return ""
+}
+
+func structHasMutex(pkg *Package, st *ast.StructType, mu string) bool {
+	for _, field := range st.Fields.List {
+		for _, name := range field.Names {
+			if name.Name != mu {
+				continue
+			}
+			if obj := pkg.Info.Defs[name]; obj != nil && isMutexType(obj.Type()) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func runMutexGuard(pass *Pass) {
+	data, hasData := pass.Sess.Data(mutexGuardDataKey).(*mutexGuardData)
+	if !hasData {
+		return
+	}
+	for _, d := range data.bad {
+		if d.Pos.Filename != "" && samePackageFile(pass.Pkg, d.Pos.Filename) {
+			*pass.diags = append(*pass.diags, d)
+		}
+	}
+	if !data.owners[pass.Pkg.Types] {
+		return
+	}
+	cfg := &flowConfig{
+		visit: func(c *flowCtx, n ast.Node, st *flowState) {
+			sel, isSel := n.(*ast.SelectorExpr)
+			if !isSel {
+				return
+			}
+			field, _ := fieldSelection(c.Pkg.Info, sel)
+			if field == nil {
+				return
+			}
+			mu, guarded := data.guards[field]
+			if !guarded {
+				return
+			}
+			base := canonPath(sel.X)
+			if base == "" {
+				pass.Reportf(sel.Pos(),
+					"access to guarded field %s through an unresolvable receiver chain; bind the owner to a variable so the lock is checkable",
+					field.Name())
+				return
+			}
+			if !st.Held(base + "." + mu) {
+				pass.Reportf(sel.Pos(),
+					"%s.%s accessed without holding %s.%s (field is //mpass:guardedby %s)",
+					base, field.Name(), base, mu, mu)
+			}
+		},
+	}
+	runFlow(pass.Sess, pass.Pkg, cfg)
+}
+
+func samePackageFile(pkg *Package, filename string) bool {
+	for _, f := range pkg.Files {
+		if pkg.Fset.Position(f.Pos()).Filename == filename {
+			return true
+		}
+	}
+	return false
+}

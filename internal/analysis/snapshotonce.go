@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// snapshotonce enforces the one-generation-per-request invariant that the
+// PR 8 hot-reload work made load-bearing: a request-scoped code path in
+// the serving tier may pin a serving generation (models.Load(), the
+// engine registry's Current(), the gateway ring load) at most once, and
+// must thread that one snapshot through everything it calls. Two loads on
+// the same path can straddle a concurrent reload and mix generations —
+// score with one model set, label or cache under another — which is
+// exactly the stale-cache bug shape the generation-keyed cache fixed
+// dynamically. This analyzer rejects the shape statically.
+//
+// Mechanically: the session records every direct atomic generation load
+// (facts.go); Init propagates a loader fact over the call graph, so a
+// function that transitively pins a generation is itself a load event at
+// its call sites; Run then walks each request path with the dataflow
+// engine and reports any load event that executes after another load may
+// already have happened on the same path. Diagnostics for indirect loads
+// carry the call-path trace down to the primitive atomic load.
+//
+// Calls the graph cannot resolve (interface methods, func-typed fields
+// like the batcher's snapshot source) contribute no load event; that is
+// deliberate under-approximation — per-invocation re-snapshot behind a
+// func field is the documented micro-batching contract.
+
+const loaderFactName = "snapshotonce.loader"
+
+// loaderFact marks a function that pins a serving generation when called.
+// Dir points one hop along a static call chain toward the primitive
+// atomic load; Site is the position of that hop's call site (or of the
+// atomic load itself when Dir is nil).
+type loaderFact struct {
+	Dir  *types.Func
+	Site token.Pos
+}
+
+func (*loaderFact) FactName() string { return loaderFactName }
+
+// snapshotOncePackages is where the one-load rule is enforced. The fact
+// prepass still covers every loaded package, so loads reached through
+// helpers declared elsewhere (internal/engine's registry) are visible.
+var snapshotOncePackages = []string{"internal/server", "internal/gateway"}
+
+var SnapshotOnce = &Analyzer{
+	Name: "snapshotonce",
+	Doc:  "request paths pin at most one serving-generation snapshot and thread it through",
+	Init: snapshotOnceInit,
+	Run:  runSnapshotOnce,
+}
+
+func snapshotOnceInit(sess *Session) {
+	var queue []*types.Func
+	for _, fn := range sess.Graph.Funcs() {
+		if loads := sess.PrimLoads(fn); len(loads) > 0 {
+			sess.ExportFact(fn, &loaderFact{Site: loads[0]})
+			queue = append(queue, fn)
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, caller := range sess.Graph.Callers(fn) {
+			if sess.ImportFact(caller, loaderFactName) != nil {
+				continue
+			}
+			site := token.NoPos
+			for _, cs := range sess.Graph.Node(caller).Calls {
+				if cs.Callee == fn {
+					site = cs.Pos
+					break
+				}
+			}
+			sess.ExportFact(caller, &loaderFact{Dir: fn, Site: site})
+			queue = append(queue, caller)
+		}
+	}
+}
+
+// isLoader reports whether a resolved callee pins a generation.
+func isLoader(sess *Session, fn *types.Func) bool {
+	return sess.ImportFact(fn, loaderFactName) != nil
+}
+
+// loaderTrace renders the call chain from fn down to the primitive atomic
+// load as diagnostic trace steps.
+func loaderTrace(sess *Session, fn *types.Func) []TraceStep {
+	var out []TraceStep
+	for fn != nil {
+		fact, isLoader := sess.ImportFact(fn, loaderFactName).(*loaderFact)
+		pkg := sess.PackageOf(fn)
+		if !isLoader || pkg == nil || !fact.Site.IsValid() || len(out) > 16 {
+			break
+		}
+		pos := pkg.Fset.Position(fact.Site)
+		out = append(out, TraceStep{File: pos.Filename, Line: pos.Line, Col: pos.Column, Func: fn.Name()})
+		fn = fact.Dir
+	}
+	return out
+}
+
+func runSnapshotOnce(pass *Pass) {
+	if !pathWithinAny(pass.Pkg.PkgPath, snapshotOncePackages) {
+		return
+	}
+	sess := pass.Sess
+	cfg := &flowConfig{
+		loaderResult: func(fn *types.Func) bool { return isLoader(sess, fn) },
+		visit: func(c *flowCtx, n ast.Node, st *flowState) {
+			call, isCall := n.(*ast.CallExpr)
+			if !isCall {
+				return
+			}
+			callee := StaticCallee(c.Pkg.Info, call)
+			direct := isSnapshotLoadCall(c.Pkg.Info, call)
+			if !direct && (callee == nil || !isLoader(sess, callee)) {
+				return
+			}
+			prior := st.Loads()
+			if len(prior) == 0 {
+				return
+			}
+			first := c.Pkg.Fset.Position(prior[0])
+			var trace []TraceStep
+			if !direct && callee != nil {
+				trace = loaderTrace(sess, callee)
+			}
+			pass.ReportTrace(call.Pos(), trace,
+				"second generation snapshot on this request path (first pinned at %s:%d); thread one snapshot through instead of re-loading",
+				first.Filename, first.Line)
+		},
+	}
+	runFlow(sess, pass.Pkg, cfg)
+}

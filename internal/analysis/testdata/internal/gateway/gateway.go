@@ -1,0 +1,26 @@
+// Package gateway exercises snapshotonce over the gateway's generation
+// type: the consistent-hash ring is an atomic snapshot exactly like the
+// server's model set, and routing paths pin it at most once.
+package gateway
+
+import "sync/atomic"
+
+type ring struct{ gen int }
+
+type gw struct {
+	ring atomic.Pointer[ring]
+}
+
+// route pins the ring once — the sanctioned shape.
+func (g *gw) route() int {
+	r := g.ring.Load()
+	return r.gen
+}
+
+// doubleRoute re-pins mid-path: a re-shard between the two loads would
+// route one request against two ring generations.
+func (g *gw) doubleRoute() int {
+	a := g.ring.Load()
+	b := g.ring.Load() // want "snapshotonce: second generation snapshot on this request path"
+	return a.gen + b.gen
+}

@@ -1,0 +1,70 @@
+// failclosed.go exercises failclosed: a score produced alongside an error
+// is garbage until the error is checked, and must not reach a served
+// response, a cache insert, or a nil-error return. shedOnError is the
+// sanctioned shape — check the error first, fail closed with a 5xx.
+package server
+
+import (
+	"crypto/sha256"
+	"errors"
+	"net/http"
+)
+
+// scoreQuery stands in for an oracle query: a score produced alongside an
+// error, resolved into the serving package (an error-taint source).
+func scoreQuery(raw []byte) (float64, error) {
+	if len(raw) == 0 {
+		return 0, errors.New("empty sample")
+	}
+	return float64(raw[0]), nil
+}
+
+func writeScore(w http.ResponseWriter, s float64) {}
+
+// badServe hands the score to the response writer without ever checking
+// the error.
+func badServe(w http.ResponseWriter, raw []byte) {
+	score, err := scoreQuery(raw)
+	_ = err
+	writeScore(w, score) // want "failclosed: error-tainted score flows into a served response"
+}
+
+// maskError uses the score inside the err != nil branch with a nil error —
+// the failure is masked as success for the caller. The fall-through return
+// is clean: the err != nil check refined that path.
+func maskError(raw []byte) (float64, error) {
+	score, err := scoreQuery(raw)
+	if err != nil {
+		return score, nil // want "failclosed: returning error-tainted score with a nil error"
+	}
+	return score, nil
+}
+
+// badCacheFill files an unchecked score into the cache (the key itself is
+// well-formed — the tainted value is the finding).
+func badCacheFill(s *fixServer, c *vCache, raw []byte) {
+	ms := s.snap()
+	sum := sha256.Sum256(raw)
+	score, err := scoreQuery(raw)
+	_ = err
+	c.put(vKey{version: ms.version, sum: sum}, int(score)) // want "failclosed: error-tainted .* flows into a cache insert"
+}
+
+// shedOnError is the sanctioned fail-closed shape: a failed query becomes
+// a 5xx, never a served score.
+func shedOnError(w http.ResponseWriter, raw []byte) {
+	score, err := scoreQuery(raw)
+	if err != nil {
+		http.Error(w, "oracle unavailable", http.StatusBadGateway)
+		return
+	}
+	writeScore(w, score)
+}
+
+// debugServe reports raw outcomes errors-and-all, with a reasoned waiver.
+func debugServe(w http.ResponseWriter, raw []byte) {
+	score, err := scoreQuery(raw)
+	_ = err
+	//lint:ignore failclosed fixture: diagnostics endpoint reports the raw score, errors and all
+	writeScore(w, score)
+}

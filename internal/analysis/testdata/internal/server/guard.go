@@ -1,0 +1,59 @@
+// guard.go exercises mutexguard: fields annotated //mpass:guardedby mu may
+// only be touched while mu is held on every path. The fixture mirrors the
+// real jobRegistry shape, plus the two sanctioned exemptions (the ...Locked
+// naming convention and the //mpass:locked pragma) and a malformed
+// annotation.
+package server
+
+import "sync"
+
+type guardedReg struct {
+	mu   sync.Mutex
+	jobs map[string]int //mpass:guardedby mu
+}
+
+// good holds the lock for the whole access, deferred-unlock style.
+func (r *guardedReg) good(id string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.jobs[id]
+}
+
+// bad reads the guarded map with no lock at all.
+func (r *guardedReg) bad(id string) int {
+	return r.jobs[id] // want "mutexguard: r.jobs accessed without holding r.mu"
+}
+
+// oneArm locks on only one branch: the must-held merge is an intersection,
+// so the access after the join is unprotected.
+func (r *guardedReg) oneArm(id string, fast bool) int {
+	if !fast {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+	}
+	return r.jobs[id] // want "mutexguard: r.jobs accessed without holding r.mu"
+}
+
+// sizeLocked follows the repo convention: the ...Locked suffix declares
+// that the caller holds the receiver's mutexes.
+func (r *guardedReg) sizeLocked() int { return len(r.jobs) }
+
+// evict runs under the sweep loop's lock, declared explicitly.
+//
+//mpass:locked mu
+func (r *guardedReg) evict(id string) { delete(r.jobs, id) }
+
+// racyLen carries a reasoned waiver instead of a lock.
+func (r *guardedReg) racyLen() int {
+	//lint:ignore mutexguard fixture: approximate gauge read, torn reads acceptable
+	return len(r.jobs)
+}
+
+// orphanGuard's annotation names a mutex field that does not exist: the
+// annotation itself is the finding.
+type orphanGuard struct {
+	//mpass:guardedby lock
+	n int // want "mutexguard: //mpass:guardedby lock: no sibling sync.Mutex"
+}
+
+func (o *orphanGuard) read() int { return o.n }

@@ -1,0 +1,67 @@
+// snapshot.go exercises snapshotonce: a request path pins at most one
+// serving generation. The fixture mirrors the real server's shape — an
+// atomic.Pointer[modelSet] cell, a snap() helper, and handlers that either
+// thread the one snapshot through (clean) or re-load it (firing).
+package server
+
+import "sync/atomic"
+
+// modelSet is the fixture's serving generation (the name and package path
+// are what make its atomic loads count as generation pins).
+type modelSet struct {
+	version string
+	dets    []string
+}
+
+type fixServer struct {
+	models atomic.Pointer[modelSet]
+}
+
+// snap pins the current generation — the one sanctioned load helper.
+func (s *fixServer) snap() *modelSet { return s.models.Load() }
+
+// doubleLoad re-pins directly: the second atomic load fires.
+func (s *fixServer) doubleLoad() (string, string) {
+	a := s.models.Load()
+	b := s.models.Load() // want "snapshotonce: second generation snapshot on this request path"
+	return a.version, b.version
+}
+
+// helperReload re-pins through the helper: the loader fact makes the snap
+// call a load event, and the diagnostic carries the call-path trace down
+// to the primitive atomic load.
+func (s *fixServer) helperReload() string {
+	ms := s.models.Load()
+	other := s.snap() // want "snapshotonce: second generation snapshot on this request path"
+	return ms.version + other.version
+}
+
+// threaded is the sanctioned shape: pin once, pass the snapshot down.
+func (s *fixServer) threaded() string {
+	ms := s.snap()
+	return describe(ms)
+}
+
+func describe(ms *modelSet) string { return ms.version }
+
+// outerPath -> midPath -> snap is the multi-hop cone the call-graph test
+// pins: outerPath transitively pins a generation without a direct load.
+func (s *fixServer) outerPath() string { return s.midPath() }
+
+func (s *fixServer) midPath() string { return s.snap().version }
+
+// dispatcherLit loads only inside a closure: the literal's body is its own
+// request-scoped path (and contributes no call-graph edge), so neither the
+// closure nor the constructor fires.
+func (s *fixServer) dispatcherLit() func() string {
+	return func() string { return s.snap().version }
+}
+
+// reloadSwap touches two generations by design — the reload handler shape
+// — and carries the sanctioned, reasoned waiver.
+func (s *fixServer) reloadSwap() (string, string) {
+	prev := s.snap()
+	//lint:ignore snapshotonce fixture: the reload path reads the old generation and installs the new one by design
+	next := s.snap()
+	return prev.version, next.version
+}

@@ -1,0 +1,72 @@
+// vkey.go exercises versionkey: every score-cache insert must be keyed by
+// BOTH a model/set version and a content hash. staleCacheBug reproduces
+// the PR 8 stale-generation bug shape end to end — a second generation pin
+// plus a key whose version component is not generation-derived — and is
+// caught by snapshotonce and versionkey together.
+package server
+
+import "crypto/sha256"
+
+// vKey mirrors the real scoreKey: generation version + content digest.
+type vKey struct {
+	version string
+	sum     [32]byte
+}
+
+type vCache struct{ m map[vKey]int }
+
+func (c *vCache) put(k vKey, v int) { c.m[k] = v }
+
+func (c *vCache) get(k vKey) (int, bool) {
+	v, ok := c.m[k]
+	return v, ok
+}
+
+// goodInsert derives both components: .version of a pinned generation and
+// a sha256 over the scanned bytes.
+func goodInsert(s *fixServer, c *vCache, raw []byte) {
+	ms := s.snap()
+	sum := sha256.Sum256(raw)
+	c.put(vKey{version: ms.version, sum: sum}, 1)
+}
+
+// staleInsert hard-codes the version instead of deriving it from the
+// generation that scored.
+func staleInsert(c *vCache, raw []byte) {
+	sum := sha256.Sum256(raw)
+	c.put(vKey{version: "v1", sum: sum}, 1) // want "versionkey: cache key version is not derived from a model/set version"
+}
+
+// noHash fills the digest component with a zero value instead of hashing
+// the content.
+func noHash(s *fixServer, c *vCache) {
+	ms := s.snap()
+	c.put(vKey{version: ms.version, sum: [32]byte{}}, 1) // want "versionkey: cache key sum is not derived from a content hash"
+}
+
+// flatCache keys by bare string — the key type itself is the bug.
+type flatCache struct{ m map[string]int }
+
+func (c *flatCache) put(k string, v int) { c.m[k] = v }
+
+func flatInsert(c *flatCache, raw []byte) {
+	c.put(string(raw), 1) // want "versionkey: cache insert keyed by string"
+}
+
+// seedInsert is a sanctioned synthetic warm-up insert, waived with a reason.
+func seedInsert(c *vCache) {
+	//lint:ignore versionkey fixture: warm-up insert under a pinned synthetic generation
+	c.put(vKey{version: "warmup", sum: [32]byte{}}, 0)
+}
+
+// staleCacheBug is the PR 8 regression fixture: score under one pinned
+// generation, re-pin mid-path, then file the result under a key whose
+// version is not the generation that scored. Pre-PR-8 serving had exactly
+// this shape, and a hot reload between the two pins served stale verdicts.
+func staleCacheBug(s *fixServer, c *vCache, raw []byte) {
+	first := s.models.Load()
+	second := s.snap() // want "snapshotonce: second generation snapshot on this request path"
+	sum := sha256.Sum256(raw)
+	_, _ = first, second
+	c.put(vKey{version: "", sum: sum}, 1) // want "versionkey: cache key version is not derived from a model/set version"
+}

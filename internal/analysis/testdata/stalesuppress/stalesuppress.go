@@ -1,0 +1,19 @@
+// Package stalesuppress exercises the stale-suppression audit: a
+// //lint:ignore directive whose analyzer never fires on the covered lines
+// is itself a "suppressions" finding, as is a directive naming an analyzer
+// the framework does not know. A stale directive can in turn be waived —
+// with a reason — by a //lint:ignore suppressions directive, and only an
+// unused waiver of that kind is flagged on the second audit round.
+// Expected findings are asserted by TestStaleSuppression, not by // want
+// comments: the findings land on the directive lines themselves.
+package stalesuppress
+
+//lint:ignore nakedgo pretending a goroutine lived here once
+func quiet() int { return 1 }
+
+//lint:ignore nosuchanalyzer directives for unknown analyzers are stale by definition
+func unknown() int { return 2 }
+
+//lint:ignore suppressions fixture: grandfathered waiver kept while the hot path moves
+//lint:ignore zeroalloc kept deliberately during the table-path migration
+func waived() int { return 3 }

@@ -1,0 +1,181 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// versionkey guards the generation-keyed score cache that PR 8
+// introduced: every insert into a score cache must derive its key from
+// BOTH a model/set version and a content hash. A key missing the version
+// component regresses to the pre-PR-8 bug — a hot reload leaves stale
+// scores served for identical bytes under the new model generation; a
+// key missing the content hash would collide every sample of a
+// generation onto one entry.
+//
+// Derivation is checked with the dataflow engine's value sources: the
+// version component must carry SrcVersion (a .version field of a
+// generation value, or a Version() method of the serving layer's types)
+// and the digest component must carry SrcContentHash (sha256.Sum256, or
+// a hash.Hash Sum into a caller buffer). Insert sites are calls to a
+// `put` method on a *cache-named type; lookup keys are deliberately not
+// checked — a malformed get key is a harmless miss, a malformed put key
+// is a poisoned cache.
+//
+// versionkey Needs snapshotonce: the loader facts are what make
+// `ms := s.snap(); ... ms.version` version-derived through helper calls.
+
+var versionKeyPackages = []string{"internal/server"}
+
+var VersionKey = &Analyzer{
+	Name:  "versionkey",
+	Doc:   "score-cache inserts are keyed by (model/set version, content hash)",
+	Needs: []string{"snapshotonce"},
+	Run:   runVersionKey,
+}
+
+func runVersionKey(pass *Pass) {
+	if !pathWithinAny(pass.Pkg.PkgPath, versionKeyPackages) {
+		return
+	}
+	sess := pass.Sess
+	cfg := &flowConfig{
+		loaderResult: func(fn *types.Func) bool { return isLoader(sess, fn) },
+	}
+	cfg.visit = func(c *flowCtx, n ast.Node, st *flowState) {
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall || !isCacheInsert(c.Pkg, call) || len(call.Args) < 1 {
+			return
+		}
+		key := ast.Unparen(call.Args[0])
+		keyType := c.Pkg.Info.TypeOf(key)
+		versionField, hashField := versionKeyFields(keyType)
+		if versionField == nil || hashField == nil {
+			pass.Reportf(call.Pos(),
+				"cache insert keyed by %s: the key type must pair a model/set version with a content hash (scoreKey shape)",
+				types.TypeString(keyType, types.RelativeTo(pass.Pkg.Types)))
+			return
+		}
+		if lit, isLit := key.(*ast.CompositeLit); isLit {
+			checkKeyLiteral(pass, c, lit, versionField, hashField)
+			return
+		}
+		v := c.Value(key)
+		if v&SrcVersion == 0 {
+			pass.Reportf(call.Pos(),
+				"cache key's %s is not derived from a model/set version on this path", versionField.Name())
+		}
+		if v&SrcContentHash == 0 {
+			pass.Reportf(call.Pos(),
+				"cache key's %s is not derived from a content hash on this path", hashField.Name())
+		}
+	}
+	runFlow(sess, pass.Pkg, cfg)
+}
+
+// checkKeyLiteral verifies each component of an inline key literal
+// individually, so the diagnostic names the field that is wrong rather
+// than the whole key.
+func checkKeyLiteral(pass *Pass, c *flowCtx, lit *ast.CompositeLit, versionField, hashField *types.Var) {
+	exprs := map[*types.Var]ast.Expr{}
+	fields := structFieldsOf(c.Pkg.Info.TypeOf(lit))
+	for i, elt := range lit.Elts {
+		if kv, isKV := elt.(*ast.KeyValueExpr); isKV {
+			name, isIdent := kv.Key.(*ast.Ident)
+			if !isIdent {
+				continue
+			}
+			for _, f := range fields {
+				if f.Name() == name.Name {
+					exprs[f] = kv.Value
+				}
+			}
+			continue
+		}
+		if i < len(fields) {
+			exprs[fields[i]] = elt
+		}
+	}
+	if e, present := exprs[versionField]; !present || !exprHas(c, e, SrcVersion) {
+		pass.Reportf(lit.Pos(),
+			"cache key %s is not derived from a model/set version (want a generation's .version or Version())",
+			versionField.Name())
+	}
+	if e, present := exprs[hashField]; !present || !exprHas(c, e, SrcContentHash) {
+		pass.Reportf(lit.Pos(),
+			"cache key %s is not derived from a content hash (want sha256 over the scanned bytes)",
+			hashField.Name())
+	}
+}
+
+func exprHas(c *flowCtx, e ast.Expr, bit absValue) bool {
+	return (c.Value(e)|c.Value(ast.Unparen(e)))&bit != 0
+}
+
+// isCacheInsert matches calls to a method named "put" on a receiver whose
+// named type is a cache (name contains "cache" / "Cache").
+func isCacheInsert(pkg *Package, call *ast.CallExpr) bool {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel || sel.Sel.Name != "put" {
+		return false
+	}
+	fn, recv := methodSelection(pkg.Info, sel)
+	if fn == nil {
+		return false
+	}
+	named := namedType(recv)
+	return named != nil && strings.Contains(strings.ToLower(named.Obj().Name()), "cache")
+}
+
+// versionKeyFields identifies the version and content-hash components of
+// a key type: a named struct with a string field whose name contains
+// "version" and a byte-array/slice field (the digest).
+func versionKeyFields(t types.Type) (versionField, hashField *types.Var) {
+	for _, f := range structFieldsOf(t) {
+		name := strings.ToLower(f.Name())
+		if strings.Contains(name, "version") && isStringType(f.Type()) {
+			versionField = f
+		} else if isByteSequence(f.Type()) {
+			hashField = f
+		}
+	}
+	return versionField, hashField
+}
+
+func structFieldsOf(t types.Type) []*types.Var {
+	if t == nil {
+		return nil
+	}
+	if p, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	st, isStruct := t.Underlying().(*types.Struct)
+	if !isStruct {
+		return nil
+	}
+	out := make([]*types.Var, 0, st.NumFields())
+	for i := 0; i < st.NumFields(); i++ {
+		out = append(out, st.Field(i))
+	}
+	return out
+}
+
+func isStringType(t types.Type) bool {
+	b, isBasic := t.Underlying().(*types.Basic)
+	return isBasic && b.Info()&types.IsString != 0
+}
+
+func isByteSequence(t types.Type) bool {
+	var elem types.Type
+	switch u := t.Underlying().(type) {
+	case *types.Array:
+		elem = u.Elem()
+	case *types.Slice:
+		elem = u.Elem()
+	default:
+		return false
+	}
+	b, isBasic := elem.Underlying().(*types.Basic)
+	return isBasic && b.Kind() == types.Byte
+}

@@ -35,7 +35,7 @@ type Batcher struct {
 	metrics *Metrics
 
 	mu     sync.RWMutex // guards closed vs. in-flight submissions
-	closed bool
+	closed bool         //mpass:guardedby mu
 	reqs   chan *scanReq
 	done   chan struct{} // dispatcher exited
 }

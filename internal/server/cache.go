@@ -21,10 +21,11 @@ type scoreKey struct {
 // fixed sample pool — so a small cache absorbs a large share of oracle
 // traffic before it reaches the batcher.
 type scoreCache struct {
-	mu    sync.Mutex
-	cap   int
-	ll    *list.List // front = most recently used
-	items map[scoreKey]*list.Element
+	mu  sync.Mutex
+	cap int // immutable after construction
+	// front = most recently used
+	ll    *list.List                 //mpass:guardedby mu
+	items map[scoreKey]*list.Element //mpass:guardedby mu
 }
 
 type cacheEntry struct {

@@ -93,11 +93,13 @@ type JobView struct {
 // long-lived daemon under job churn holds a steady-state registry instead
 // of leaking every result ever produced.
 type jobRegistry struct {
-	mu       sync.Mutex
-	jobs     map[string]*job
-	finished []string // job ids in finish order; the eviction queue
-	fhead    int      // index of the oldest un-evicted entry in finished
-	seq      int64
+	mu   sync.Mutex
+	jobs map[string]*job //mpass:guardedby mu
+	// finished holds job ids in finish order (the eviction queue); fhead is
+	// the index of the oldest un-evicted entry.
+	finished []string //mpass:guardedby mu
+	fhead    int      //mpass:guardedby mu
+	seq      int64    //mpass:guardedby mu
 	pool     *parallel.Pool
 
 	deadline time.Duration // per-job runtime cap (0 = none)

@@ -43,7 +43,11 @@ func (o *residentOracle) DetectedContext(ctx context.Context, raw []byte) (bool,
 	o.s.metrics.OracleQueries.Add(1)
 	qctx, cancel := context.WithTimeout(ctx, o.s.cfg.RequestTimeout)
 	defer cancel()
-	out, _, _, err := o.s.scan(qctx, raw, true)
+	// One generation pin per query; the label below still resolves against
+	// out.set — the generation that actually scored — so a reload landing
+	// between this load and the batcher flush cannot mislabel.
+	ms := o.s.snap()
+	out, _, _, err := o.s.scan(qctx, ms, raw, true)
 	if err != nil {
 		return false, err
 	}

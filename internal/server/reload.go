@@ -70,6 +70,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	if s.registry != nil {
 		// Keep the registry in step with the serving snapshot; next is
 		// non-nil, so Swap cannot fail.
+		//lint:ignore snapshotonce Swap reads the old generation to return it; the reload path intentionally touches both generations, and scans never reach this handler
 		s.registry.Swap(next)
 	}
 	s.models.Store(ms)

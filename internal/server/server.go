@@ -331,11 +331,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return err
 }
 
-// scan runs the cache -> batcher pipeline. wait selects backpressure
+// scan runs the cache -> batcher pipeline. The caller passes the one
+// generation snapshot it pinned for this request (snapshotonce): scan must
+// not re-load the registry, or the lookup and the response could straddle a
+// concurrent reload and mix generations. wait selects backpressure
 // (internal oracle traffic) over shedding (interactive requests).
-func (s *Server) scan(ctx context.Context, raw []byte, wait bool) (scanOut, [32]byte, bool, error) {
+func (s *Server) scan(ctx context.Context, ms *modelSet, raw []byte, wait bool) (scanOut, [32]byte, bool, error) {
 	sum := sha256.Sum256(raw)
-	if out, ok := s.cache.get(scoreKey{version: s.snap().version, sum: sum}); ok {
+	if out, ok := s.cache.get(scoreKey{version: ms.version, sum: sum}); ok {
 		s.metrics.CacheHits.Add(1)
 		return out, sum, true, nil
 	}
@@ -382,7 +385,10 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
-	if ms := s.snap(); s.streamEligible(r, ms) {
+	// One snapshot per request: the same generation routes the streaming
+	// decision and keys the cache lookup below.
+	ms := s.snap()
+	if s.streamEligible(r, ms) {
 		s.handleScanStream(w, r, ms)
 		return
 	}
@@ -394,7 +400,7 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
-	out, key, cached, err := s.scan(ctx, raw, false)
+	out, key, cached, err := s.scan(ctx, ms, raw, false)
 	s.metrics.ScanLatency.Observe(time.Since(start))
 	if err != nil {
 		s.scanError(w, err)
