@@ -9,7 +9,8 @@ GO ?= go
 PARALLEL_PKGS = ./internal/parallel ./internal/tensor ./internal/nn \
                 ./internal/shapley ./internal/detect ./internal/av \
                 ./internal/server ./internal/features ./internal/gateway \
-                ./internal/faultinject ./internal/engine ./internal/analysis
+                ./internal/faultinject ./internal/engine ./internal/analysis \
+                ./internal/tenant
 
 # BENCH_N.json names follow the PR sequence and are append-only history:
 # benchjson refuses to overwrite an existing trajectory file, so a new run
@@ -19,11 +20,12 @@ SERVE_BENCH_JSON ?= BENCH_5.json
 CLUSTER_BENCH_JSON ?= BENCH_6.json
 RELOAD_BENCH_JSON ?= BENCH_7.json
 LINT_BENCH_JSON ?= BENCH_8.json
+SCENARIO_BENCH_JSON ?= BENCH_9.json
 BENCHJSON_FORCE = $(if $(FORCE_BENCH),-force,)
 
 .PHONY: all build vet lint lint-bench test race race-all bench bench-full \
         bench-json quant-gate alloc serve-smoke serve-faults reload-smoke \
-        cluster-smoke ci
+        cluster-smoke scenario-gate ci
 
 all: build
 
@@ -133,4 +135,16 @@ cluster-smoke:
 alloc:
 	$(GO) test -run 'ZeroAlloc' -count=1 ./internal/nn
 
-ci: build vet lint lint-bench test race alloc bench quant-gate serve-smoke serve-faults reload-smoke cluster-smoke
+# scenario-gate is the multi-tenant serving gate: a 2-replica fleet with
+# the scenarios/tenants.json allowlist behind the gateway runs the
+# noisy-neighbor scenario (phased multi-tenant contention, mixed
+# scan/cachemiss/attack/stream traffic) and enforces its thresholds —
+# p99, shed rate, per-tenant fairness bound, correctness == 1.0,
+# Retry-After >= 1 on every 429. A negative drill first proves a broken
+# threshold exits non-zero, then a SIGHUP drill proves the allowlist
+# hot-reload keeps auth closed. Writes $(SCENARIO_BENCH_JSON) on first run.
+scenario-gate:
+	SCENARIO_BENCH_JSON=$(SCENARIO_BENCH_JSON) FORCE_BENCH=$(FORCE_BENCH) \
+		sh scripts/scenario_gate.sh
+
+ci: build vet lint lint-bench test race alloc bench quant-gate serve-smoke serve-faults reload-smoke cluster-smoke scenario-gate

@@ -72,6 +72,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "sample-pool generation seed")
 	streamMB := flag.Int("stream-mb", 0, "also POST a chunked upload of this many MiB to exercise the O(chunk) streaming scan path (0 disables)")
 	wait := flag.Duration("wait", 15*time.Second, "how long to wait for /healthz before giving up")
+	apiKey := flag.String("api-key", "", "tenant API key sent as X-API-Key on every request (for servers running with -tenants)")
+	scenarioPath := flag.String("scenario", "", "scenario JSON file: run the phased multi-tenant scenario instead of a single burst, exiting non-zero on any threshold violation")
+	scenarioMaxP99 := flag.Duration("scenario-max-p99", 0, "override the scenario file's max_p99_ms threshold (0 keeps the file's value)")
 	flag.Parse()
 	if *clients < 1 || *requests < 1 || *samples < 1 {
 		log.Fatal("clients, requests, and samples must all be >= 1")
@@ -101,6 +104,13 @@ func main() {
 		if err := waitHealthy(b, *wait); err != nil {
 			log.Fatal(err)
 		}
+	}
+
+	if *scenarioPath != "" {
+		if err := runScenario(base, *scenarioPath, *scenarioMaxP99); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	// Cluster runs judge cache affinity on this run alone: snapshot the
@@ -154,7 +164,7 @@ func main() {
 			version = new(string)
 		}
 		t0 := time.Now()
-		status, err := postScan(bases[i%len(bases)], pool[i%len(pool)], version)
+		status, err := postScan(bases[i%len(bases)], pool[i%len(pool)], *apiKey, version)
 		lat[i] = time.Since(t0)
 		switch {
 		case err != nil || status >= 500:
@@ -190,7 +200,7 @@ func main() {
 	attacksDone, attacksFailed := 0, 0
 	if *attacks > 0 {
 		var err error
-		if attacksDone, attacksFailed, err = runAttacks(base, pool, *attacks); err != nil {
+		if attacksDone, attacksFailed, err = runAttacks(base, pool, *attacks, *apiKey); err != nil {
 			log.Fatal(err)
 		}
 		if attacksFailed > 0 && !*faults {
@@ -201,7 +211,7 @@ func main() {
 	var streamed time.Duration
 	if *streamMB > 0 {
 		var err error
-		if streamed, err = runStreamScan(base, int64(*streamMB)<<20); err != nil {
+		if streamed, err = runStreamScan(base, int64(*streamMB)<<20, *apiKey); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -209,8 +219,13 @@ func main() {
 	var snap *metricsDoc
 	var post *clusterDoc
 	if *cluster {
+		// The burst's HTTP responses are all in, but replica-side counters
+		// may still be settling (batcher flushes, health probes mid-scrape),
+		// and the per-replica snapshots are fetched non-atomically. Quiesce —
+		// poll until two consecutive fleet snapshots agree — before diffing,
+		// so the affinity gate below cannot flake on a half-settled read.
 		var err error
-		if post, err = fetchClusterMetrics(base); err != nil {
+		if post, err = quiesceCluster(base); err != nil {
 			log.Fatal(err)
 		}
 		snap = &post.Cluster
@@ -323,11 +338,20 @@ func waitHealthy(base string, wait time.Duration) error {
 	}
 }
 
-// postScan POSTs one scan. When version is non-nil the response document is
-// decoded and the generation stamp written through it (the reload audit);
-// otherwise the body is discarded unparsed.
-func postScan(base string, raw []byte, version *string) (int, error) {
-	resp, err := http.Post(base+"/v1/scan", "application/octet-stream", bytes.NewReader(raw))
+// postScan POSTs one scan, presenting key as X-API-Key when non-empty.
+// When version is non-nil the response document is decoded and the
+// generation stamp written through it (the reload audit); otherwise the
+// body is discarded unparsed.
+func postScan(base string, raw []byte, key string, version *string) (int, error) {
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/scan", bytes.NewReader(raw))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	if key != "" {
+		req.Header.Set("X-API-Key", key)
+	}
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		return 0, err
 	}
@@ -497,13 +521,16 @@ func (r *patternBody) Read(p []byte) (int, error) {
 
 // runStreamScan POSTs a size-byte chunked upload (unknown Content-Length,
 // so the server must stream it) and requires a 200.
-func runStreamScan(base string, size int64) (time.Duration, error) {
+func runStreamScan(base string, size int64, key string) (time.Duration, error) {
 	t0 := time.Now()
 	req, err := http.NewRequest(http.MethodPost, base+"/v1/scan", &patternBody{remaining: size, state: 1})
 	if err != nil {
 		return 0, err
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
+	if key != "" {
+		req.Header.Set("X-API-Key", key)
+	}
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		return 0, fmt.Errorf("streamed scan: %w", err)
@@ -521,14 +548,22 @@ func runStreamScan(base string, size int64) (time.Duration, error) {
 // never reaches a terminal state is an error — the lifecycle hardening
 // (deadlines, shutdown cancellation) exists precisely so that cannot
 // happen, faults or not.
-func runAttacks(base string, pool [][]byte, n int) (done, failed int, err error) {
+func runAttacks(base string, pool [][]byte, n int, key string) (done, failed int, err error) {
 	type accepted struct {
 		Poll string `json:"poll"`
 	}
 	var polls []string
 	for i := 0; i < n; i++ {
-		resp, err := http.Post(base+"/v1/attack", "application/octet-stream",
+		req, err := http.NewRequest(http.MethodPost, base+"/v1/attack",
 			bytes.NewReader(pool[i%len(pool)]))
+		if err != nil {
+			return 0, 0, err
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		if key != "" {
+			req.Header.Set("X-API-Key", key)
+		}
+		resp, err := http.DefaultClient.Do(req)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -549,7 +584,7 @@ func runAttacks(base string, pool [][]byte, n int) (done, failed int, err error)
 	deadline := time.Now().Add(2 * time.Minute)
 	for _, p := range polls {
 		for {
-			resp, err := http.Get(base + p)
+			resp, err := authedGet(base+p, key)
 			if err != nil {
 				return done, failed, err
 			}
@@ -576,6 +611,18 @@ func runAttacks(base string, pool [][]byte, n int) (done, failed int, err error)
 		}
 	}
 	return done, failed, nil
+}
+
+// authedGet GETs a URL, presenting key as X-API-Key when non-empty.
+func authedGet(url, key string) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	if key != "" {
+		req.Header.Set("X-API-Key", key)
+	}
+	return http.DefaultClient.Do(req)
 }
 
 // metricsDoc is the subset of the /metrics document the tool reports.
@@ -675,6 +722,46 @@ func fetchClusterMetrics(base string) (*clusterDoc, error) {
 		return nil, fmt.Errorf("cluster /metrics lists no replicas — is the target really an mpass-gateway?")
 	}
 	return &doc, nil
+}
+
+// quiesceCluster polls the fleet /metrics until two consecutive snapshots
+// carry identical traffic counters — the burst's effects have fully landed
+// on every replica — and returns the settled snapshot. The fingerprint
+// deliberately covers only burst-driven counters: probe-driven ones (job
+// polls, health checks) tick at rest and would never settle.
+func quiesceCluster(base string) (*clusterDoc, error) {
+	deadline := time.Now().Add(10 * time.Second)
+	prev := ""
+	for {
+		doc, err := fetchClusterMetrics(base)
+		if err != nil {
+			return nil, err
+		}
+		key := settleKey(doc)
+		if prev != "" && key == prev {
+			return doc, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("cluster metrics never quiesced within 10s (still moving: %s)", key)
+		}
+		prev = key
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// settleKey fingerprints the per-replica counters the affinity checks read.
+func settleKey(doc *clusterDoc) string {
+	var b strings.Builder
+	for _, r := range doc.Replicas {
+		if r.Metrics == nil {
+			fmt.Fprintf(&b, "%s:down;", r.Name)
+			continue
+		}
+		fmt.Fprintf(&b, "%s:%d,%d,%d,%d,%d;", r.Name,
+			r.Metrics.ScanRequests, r.Metrics.CacheHits, r.Metrics.CacheMisses,
+			r.Metrics.ScansStreamed, r.Metrics.Batches)
+	}
+	return b.String()
 }
 
 // checkCluster enforces the shard-affinity contract on this run's deltas

@@ -44,6 +44,7 @@ import (
 	"mpass/internal/faultinject"
 	"mpass/internal/nn"
 	"mpass/internal/server"
+	"mpass/internal/tenant"
 )
 
 func main() {
@@ -73,6 +74,8 @@ func main() {
 	streamThreshold := flag.Int64("stream-threshold", 1<<20, "scan bodies longer than this stream in O(chunk) memory (negative disables streaming)")
 	streamChunk := flag.Int("stream-chunk", 256<<10, "streaming scan read size")
 	maxStreamBytes := flag.Int64("max-stream-bytes", 64<<20, "largest accepted streamed scan body (413 beyond)")
+
+	tenantsPath := flag.String("tenants", "", "tenant allowlist JSON; enables API-key auth + per-tenant quotas (SIGHUP or POST /v1/tenants/reload re-reads it)")
 
 	jobDeadline := flag.Duration("job-deadline", 2*time.Minute, "per-attack-job runtime cap (negative disables)")
 	jobTTL := flag.Duration("job-ttl", 10*time.Minute, "finished-job result retention (negative disables)")
@@ -161,6 +164,15 @@ func main() {
 		MaxJobs:         *maxJobs,
 		Seed:            *seed,
 	}
+	var tenants *tenant.Table
+	if *tenantsPath != "" {
+		tenants, err = tenant.LoadTable(*tenantsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Tenants = tenants
+		log.Printf("tenant auth on: %d tenants from %s", tenants.Len(), *tenantsPath)
+	}
 	if *faultHang > 0 || *faultError > 0 || *faultLatency > 0 {
 		fcfg := faultinject.Config{
 			Seed:        *faultSeed,
@@ -206,12 +218,32 @@ func main() {
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	select {
-	case s := <-sig:
-		log.Printf("received %v, draining (deadline %v)", s, *drain)
-	case err := <-serveErr:
-		log.Fatal(err)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
+wait:
+	for {
+		select {
+		case s := <-sig:
+			if s == syscall.SIGHUP {
+				// SIGHUP re-reads the tenant allowlist in place; a bad file
+				// logs and keeps the current table serving.
+				if tenants == nil {
+					log.Printf("SIGHUP ignored: no -tenants allowlist configured")
+					continue
+				}
+				n, err := tenants.Reload()
+				if err != nil {
+					log.Printf("tenant reload failed (allowlist unchanged): %v", err)
+					continue
+				}
+				srv.Metrics().TenantReloads.Add(1)
+				log.Printf("tenant allowlist reloaded: %d tenants", n)
+				continue
+			}
+			log.Printf("received %v, draining (deadline %v)", s, *drain)
+			break wait
+		case err := <-serveErr:
+			log.Fatal(err)
+		}
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)

@@ -160,6 +160,24 @@ func TestGatewayInScope(t *testing.T) {
 	}
 }
 
+// TestTenantInScope pins the PR 10 scope extension: per-tenant admission
+// (internal/tenant) runs inside every request handler, so the serving-path
+// invariants (bounded sends, context threading) must cover it — and it
+// must not be exempt from nakedgo: the quota layer decides synchronously
+// and owns no goroutines.
+func TestTenantInScope(t *testing.T) {
+	const tn = "mpass/internal/tenant"
+	if !pathWithinAny(tn, boundedQueuePackages) {
+		t.Errorf("boundedqueue does not cover %s", tn)
+	}
+	if !pathWithinAny(tn, ctxflowPackages) {
+		t.Errorf("ctxflow does not cover %s", tn)
+	}
+	if pathWithinAny(tn, goroutineOwners) {
+		t.Errorf("nakedgo exempts %s: the quota layer decides synchronously and owns no goroutines", tn)
+	}
+}
+
 // TestEngineInScope pins the PR 8 scope extension: the engine driver layer
 // scores (the RNN detector), trains, and derives content-addressed versions,
 // so the determinism analyzer must cover it. Dropping internal/engine from

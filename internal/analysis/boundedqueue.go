@@ -6,12 +6,14 @@ import "go/ast"
 // and the gateway in front of it, plus the recovery and visa layers that
 // sit on the same request paths (scoped in lint round 2). All of them sit
 // between an HTTP caller and a queue, so all owe the caller an explicit
-// shed instead of a silent block.
+// shed instead of a silent block. internal/tenant (PR 10) is the quota
+// layer in front of the shared admission queue and must shed, not queue.
 var boundedQueuePackages = []string{
 	"internal/server",
 	"internal/gateway",
 	"internal/recovery",
 	"internal/visa",
+	"internal/tenant",
 }
 
 // BoundedQueue flags bare channel sends in the serving tiers.

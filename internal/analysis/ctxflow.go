@@ -11,7 +11,9 @@ import (
 // a documented legacy surface, and the determinism analyzer already bans
 // wall-clock reads there. internal/recovery and internal/visa joined the
 // scope in lint round 2: both run under request or drain deadlines and owe
-// their callers the same interruptibility.
+// their callers the same interruptibility. internal/tenant joined in
+// PR 10: per-tenant admission runs inside every request handler, so any
+// blocking wait it grew would stall scans past their deadlines.
 var ctxflowPackages = []string{
 	"internal/server",
 	"internal/gateway",
@@ -19,6 +21,7 @@ var ctxflowPackages = []string{
 	"internal/faultinject",
 	"internal/recovery",
 	"internal/visa",
+	"internal/tenant",
 }
 
 // CtxFlow enforces context threading on the serving path:

@@ -10,6 +10,7 @@ import (
 
 	"mpass/internal/parallel"
 	"mpass/internal/server"
+	"mpass/internal/tenant"
 )
 
 // Metrics is the gateway's own counter set — routing, retry, re-shard, and
@@ -143,6 +144,15 @@ func mergeSnapshots(snaps []*server.MetricsSnapshot) server.MetricsSnapshot {
 		out.JobsCancelled += s.JobsCancelled
 		out.JobsRegistry += s.JobsRegistry
 		out.JobsRegistryCap += s.JobsRegistryCap
+		out.TenantUnauthenticated += s.TenantUnauthenticated
+		out.TenantRejected += s.TenantRejected
+		out.TenantReloads += s.TenantReloads
+		if len(s.Tenants) > 0 && out.Tenants == nil {
+			out.Tenants = make(map[string]tenant.Snapshot)
+		}
+		for name, ts := range s.Tenants {
+			out.Tenants[name] = tenant.Merge(out.Tenants[name], ts)
+		}
 
 		h := s.ScanLatency
 		if len(out.ScanLatency.BucketsMs) == 0 {

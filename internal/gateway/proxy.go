@@ -41,12 +41,15 @@ func (p *payload) reader() io.Reader {
 	return bytes.NewReader(p.mem)
 }
 
-// cleanup releases the spool file, if any.
+// cleanup releases the spool file, if any. Idempotent: error paths inside
+// readPayload clean up eagerly, and the handlers' deferred cleanup must
+// then find nothing left to do rather than double-close the file.
 func (p *payload) cleanup() {
 	if p.file != nil {
 		name := p.file.Name()
 		p.file.Close()
 		os.Remove(name)
+		p.file = nil
 	}
 }
 
@@ -101,8 +104,33 @@ func (g *Gateway) readPayload(r *http.Request) (*payload, error) {
 	return p, nil
 }
 
+// authHeader carries the client's tenant credential so every replica
+// attempt — including the retry onto a rebuilt ring — presents the same
+// identity. The gateway never authenticates itself; replicas own the
+// allowlist, the gateway just relays the key and the 401/429 verdicts.
+type authHeader struct {
+	bearer string // Authorization header, verbatim
+	apiKey string // X-API-Key header
+}
+
+func authFrom(r *http.Request) authHeader {
+	return authHeader{
+		bearer: r.Header.Get("Authorization"),
+		apiKey: r.Header.Get("X-API-Key"),
+	}
+}
+
+func (a authHeader) apply(h http.Header) {
+	if a.bearer != "" {
+		h.Set("Authorization", a.bearer)
+	}
+	if a.apiKey != "" {
+		h.Set("X-API-Key", a.apiKey)
+	}
+}
+
 // forward sends one attempt of the payload to a replica endpoint.
-func (g *Gateway) forward(ctx context.Context, rep *replica, path, query string, p *payload) (*http.Response, error) {
+func (g *Gateway) forward(ctx context.Context, rep *replica, path, query string, p *payload, auth authHeader) (*http.Response, error) {
 	url := rep.base + path
 	if query != "" {
 		url += "?" + query
@@ -113,6 +141,7 @@ func (g *Gateway) forward(ctx context.Context, rep *replica, path, query string,
 	}
 	req.ContentLength = p.size
 	req.Header.Set("Content-Type", "application/octet-stream")
+	auth.apply(req.Header)
 	return g.client.Do(req)
 }
 
@@ -216,8 +245,9 @@ func (g *Gateway) handleScan(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "no healthy replicas")
 		return
 	}
+	auth := authFrom(r)
 	g.metrics.ScansRouted.Add(1)
-	resp, err := g.forward(ctx, g.replicas[primary], "/v1/scan", r.URL.RawQuery, p)
+	resp, err := g.forward(ctx, g.replicas[primary], "/v1/scan", r.URL.RawQuery, p, auth)
 	if retriable(ctx, err) {
 		// The owner vanished mid-request: mark it down (the prober will
 		// bring it back), re-shard, and retry exactly once on the replica
@@ -231,7 +261,7 @@ func (g *Gateway) handleScan(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadGateway, "no surviving replica for retry: "+err.Error())
 			return
 		}
-		resp, err = g.forward(ctx, g.replicas[alt], "/v1/scan", r.URL.RawQuery, p)
+		resp, err = g.forward(ctx, g.replicas[alt], "/v1/scan", r.URL.RawQuery, p, auth)
 	}
 	if err != nil {
 		g.metrics.ScansFailed.Add(1)
@@ -244,11 +274,30 @@ func (g *Gateway) handleScan(w http.ResponseWriter, r *http.Request) {
 	}
 	if resp.StatusCode == http.StatusTooManyRequests {
 		// Replica-level shed becomes a cluster-level hint: the wait is
-		// derived from the fleet's summed backlog, not one member's.
+		// derived from the fleet's summed backlog, not one member's. A
+		// longer replica hint survives — a tenant-quota 429 carries the
+		// tenant's own bucket-refill wait, which no amount of fleet
+		// capacity shortens.
 		g.metrics.ScansShed.Add(1)
-		resp.Header.Set("Retry-After", g.retryAfterScan())
+		resp.Header.Set("Retry-After", maxRetryAfter(resp.Header.Get("Retry-After"), g.retryAfterScan()))
 	}
 	relay(w, resp)
+}
+
+// maxRetryAfter keeps the stricter of the replica's own 429 hint and the
+// cluster drain hint, floored at the minimum legal "1" when neither parses.
+func maxRetryAfter(replica, cluster string) string {
+	r, rerr := strconv.Atoi(replica)
+	c, cerr := strconv.Atoi(cluster)
+	switch {
+	case rerr != nil && cerr != nil:
+		return "1"
+	case rerr != nil:
+		return cluster
+	case cerr != nil || r >= c:
+		return replica
+	}
+	return cluster
 }
 
 // pickLeastLoaded returns the healthy replica with the lowest load
@@ -300,12 +349,13 @@ func (g *Gateway) handleAttack(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "no healthy replicas")
 		return
 	}
-	resp, err := g.submitAttack(ctx, idx, r.URL.RawQuery, p)
+	auth := authFrom(r)
+	resp, err := g.submitAttack(ctx, idx, r.URL.RawQuery, p, auth)
 	if retriable(ctx, err) {
 		g.markDown(idx)
 		g.metrics.AttackRetries.Add(1)
 		if alt := g.pickLeastLoaded(idx); alt >= 0 {
-			resp, err = g.submitAttack(ctx, alt, r.URL.RawQuery, p)
+			resp, err = g.submitAttack(ctx, alt, r.URL.RawQuery, p, auth)
 			idx = alt
 		}
 	}
@@ -324,7 +374,7 @@ func (g *Gateway) handleAttack(w http.ResponseWriter, r *http.Request) {
 	if resp.StatusCode != http.StatusAccepted {
 		if resp.StatusCode == http.StatusTooManyRequests {
 			g.metrics.AttacksShed.Add(1)
-			w.Header().Set("Retry-After", g.retryAfterAttack())
+			w.Header().Set("Retry-After", maxRetryAfter(resp.Header.Get("Retry-After"), g.retryAfterAttack()))
 		}
 		if ct := resp.Header.Get("Content-Type"); ct != "" {
 			w.Header().Set("Content-Type", ct)
@@ -352,11 +402,11 @@ func (g *Gateway) handleAttack(w http.ResponseWriter, r *http.Request) {
 
 // submitAttack posts one attack submission attempt, tracking the in-flight
 // count the least-loaded picker reads.
-func (g *Gateway) submitAttack(ctx context.Context, idx int, query string, p *payload) (*http.Response, error) {
+func (g *Gateway) submitAttack(ctx context.Context, idx int, query string, p *payload, auth authHeader) (*http.Response, error) {
 	rep := g.replicas[idx]
 	rep.inflightAttacks.Add(1)
 	defer rep.inflightAttacks.Add(-1)
-	return g.forward(ctx, rep, "/v1/attack", query, p)
+	return g.forward(ctx, rep, "/v1/attack", query, p, auth)
 }
 
 func (g *Gateway) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -382,6 +432,7 @@ func (g *Gateway) handleJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
+	authFrom(r).apply(req.Header)
 	resp, err := g.client.Do(req)
 	if err != nil {
 		// Job results live on exactly one replica; if it is gone, the

@@ -31,6 +31,7 @@ const (
 type job struct {
 	id     string
 	target string
+	tenant string // submitting tenant ("" on single-tenant servers)
 	state  JobState
 
 	// modelVersion is the generation the job was submitted against;
@@ -63,6 +64,7 @@ type job struct {
 type JobView struct {
 	ID      string   `json:"id"`
 	Target  string   `json:"target"`
+	Tenant  string   `json:"tenant,omitempty"`
 	State   JobState `json:"state"`
 	Created string   `json:"created"`
 
@@ -162,7 +164,7 @@ func (r *jobRegistry) size() int {
 // the pool (cancelled on forced shutdown) and bounded by the configured
 // per-job deadline. It returns ErrOverloaded when the pool queue or the
 // registry is full of live work, and ErrClosed once the registry drains.
-func (r *jobRegistry) submit(target, modelVersion string, run func(ctx context.Context, j *jobHandle)) (string, error) {
+func (r *jobRegistry) submit(target, modelVersion, tenant string, run func(ctx context.Context, j *jobHandle)) (string, error) {
 	now := time.Now()
 	r.mu.Lock()
 	r.evictLocked(now, 1)
@@ -176,6 +178,7 @@ func (r *jobRegistry) submit(target, modelVersion string, run func(ctx context.C
 	j := &job{
 		id:           fmt.Sprintf("job-%06d", r.seq),
 		target:       target,
+		tenant:       tenant,
 		state:        JobQueued,
 		modelVersion: modelVersion,
 		created:      now,
@@ -218,6 +221,7 @@ func (r *jobRegistry) view(id string, includeAE bool) (JobView, bool) {
 	v := JobView{
 		ID:           j.id,
 		Target:       j.target,
+		Tenant:       j.tenant,
 		State:        j.state,
 		Created:      j.created.UTC().Format(time.RFC3339Nano),
 		ModelVersion: j.modelVersion,

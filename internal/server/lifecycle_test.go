@@ -35,7 +35,7 @@ func TestJobRegistryBoundedUnderChurn(t *testing.T) {
 
 	for i := 0; i < churn; i++ {
 		for {
-			_, err := r.submit("A", "", func(ctx context.Context, h *jobHandle) {
+			_, err := r.submit("A", "", "", func(ctx context.Context, h *jobHandle) {
 				h.finish([]byte("orig"), &core.Result{Success: false}, nil, "")
 			})
 			if err == nil {
@@ -79,11 +79,11 @@ func TestJobRegistryShedsWhenAllLive(t *testing.T) {
 		h.finish(nil, &core.Result{}, nil, "")
 	}
 	for i := 0; i < 2; i++ {
-		if _, err := r.submit("A", "", block); err != nil {
+		if _, err := r.submit("A", "", "", block); err != nil {
 			t.Fatalf("live job %d: %v", i, err)
 		}
 	}
-	if _, err := r.submit("A", "", block); !errors.Is(err, ErrOverloaded) {
+	if _, err := r.submit("A", "", "", block); !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("submit over a registry full of live jobs returned %v, want ErrOverloaded", err)
 	}
 	if m.JobsEvicted.Load() != 0 {
@@ -103,7 +103,7 @@ func TestJobRegistryTTLExpiresFinishedJobs(t *testing.T) {
 	})
 
 	done := make(chan struct{})
-	id, err := r.submit("A", "", func(ctx context.Context, h *jobHandle) {
+	id, err := r.submit("A", "", "", func(ctx context.Context, h *jobHandle) {
 		h.finish(nil, &core.Result{}, nil, "")
 		close(done)
 	})
@@ -139,7 +139,7 @@ func TestJobViewTerminalJSONIsExplicit(t *testing.T) {
 	})
 
 	done := make(chan struct{})
-	failedID, err := r.submit("A", "", func(ctx context.Context, h *jobHandle) {
+	failedID, err := r.submit("A", "", "", func(ctx context.Context, h *jobHandle) {
 		h.finish([]byte("orig"), &core.Result{Success: false, Queries: 0, Rounds: 0}, nil, "")
 		close(done)
 	})
@@ -147,7 +147,7 @@ func TestJobViewTerminalJSONIsExplicit(t *testing.T) {
 		t.Fatalf("submit: %v", err)
 	}
 	<-done
-	queuedID, err := r.submit("A", "", func(ctx context.Context, h *jobHandle) {
+	queuedID, err := r.submit("A", "", "", func(ctx context.Context, h *jobHandle) {
 		<-release
 		h.finish(nil, &core.Result{}, nil, "")
 	})

@@ -3,6 +3,8 @@ package server
 import (
 	"sync/atomic"
 	"time"
+
+	"mpass/internal/tenant"
 )
 
 // Metrics is the daemon's expvar-style counter set: plain atomics sampled
@@ -40,6 +42,11 @@ type Metrics struct {
 	Reloads        atomic.Int64 // successful model-set swaps
 	ReloadFailures atomic.Int64 // reloads rejected (load error or failed certification)
 	CachePurged    atomic.Int64 // score-cache entries dropped across all swaps
+
+	// Tenant admission layer (zero when no allowlist is configured).
+	TenantUnauthenticated atomic.Int64 // requests rejected 401 (unknown or missing key)
+	TenantRejected        atomic.Int64 // requests rejected 429 by a tenant quota
+	TenantReloads         atomic.Int64 // successful allowlist reloads (SIGHUP or endpoint)
 
 	ScanLatency Histogram
 }
@@ -158,6 +165,15 @@ type MetricsSnapshot struct {
 	ReloadFailures int64 `json:"reload_failures"`
 	CachePurged    int64 `json:"cache_purged"`
 
+	TenantUnauthenticated int64 `json:"tenant_unauthenticated"`
+	TenantRejected        int64 `json:"tenant_rejected"`
+	TenantReloads         int64 `json:"tenant_reloads"`
+
+	// Tenants carries the per-tenant counter sets, keyed by tenant name.
+	// Filled in by the Server (which owns the tenant table); absent on
+	// single-tenant deployments.
+	Tenants map[string]tenant.Snapshot `json:"tenants,omitempty"`
+
 	// Registry gauges: current size and the max-live-jobs bound it is held
 	// under (0 = unbounded). Filled in by the Server, which owns the registry.
 	JobsRegistry    int `json:"jobs_registry"`
@@ -191,7 +207,12 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		Reloads:        m.Reloads.Load(),
 		ReloadFailures: m.ReloadFailures.Load(),
 		CachePurged:    m.CachePurged.Load(),
-		ScanLatency:    m.ScanLatency.snapshot(),
+
+		TenantUnauthenticated: m.TenantUnauthenticated.Load(),
+		TenantRejected:        m.TenantRejected.Load(),
+		TenantReloads:         m.TenantReloads.Load(),
+
+		ScanLatency: m.ScanLatency.snapshot(),
 	}
 	if s.Batches > 0 {
 		s.MeanBatch = float64(s.BatchedRaws) / float64(s.Batches)

@@ -38,6 +38,7 @@ import (
 	"mpass/internal/detect"
 	"mpass/internal/engine"
 	"mpass/internal/nn"
+	"mpass/internal/tenant"
 )
 
 // AttackFunc runs one adversarial-example attack on original against the
@@ -154,6 +155,13 @@ type Config struct {
 	OracleBackoff    time.Duration
 	OracleBackoffMax time.Duration
 	OracleBreakAfter int
+
+	// Tenants, when non-nil, puts the multi-tenant admission layer in front
+	// of every metered endpoint: requests must authenticate with a resident
+	// API key and clear their tenant's token bucket and in-flight share
+	// before competing for the shared batcher and job-pool capacity. Nil
+	// leaves the server single-tenant and unauthenticated.
+	Tenants *tenant.Table
 
 	// OracleWrap, when non-nil, wraps each attack job's resident oracle
 	// before the retry layer — the fault-injection hook (tests, mpassd
@@ -301,6 +309,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/scan", s.handleScan)
 	s.mux.HandleFunc("POST /v1/attack", s.handleAttack)
 	s.mux.HandleFunc("POST /v1/models/reload", s.handleReload)
+	s.mux.HandleFunc("POST /v1/tenants/reload", s.handleTenantsReload)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -385,11 +394,21 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
+	// Tenant admission first: a 401/429 here must consume nothing — not the
+	// body, not a cache lookup, not a batcher slot.
+	grant, ok := s.admitTenant(w, r)
+	if !ok {
+		return
+	}
+	if grant != nil {
+		defer grant.Release()
+		grant.CountScan()
+	}
 	// One snapshot per request: the same generation routes the streaming
 	// decision and keys the cache lookup below.
 	ms := s.snap()
 	if s.streamEligible(r, ms) {
-		s.handleScanStream(w, r, ms)
+		s.handleScanStream(w, r, ms, grant)
 		return
 	}
 	raw, ok := s.readBody(w, r)
@@ -401,7 +420,11 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 	out, key, cached, err := s.scan(ctx, ms, raw, false)
-	s.metrics.ScanLatency.Observe(time.Since(start))
+	elapsed := time.Since(start)
+	s.metrics.ScanLatency.Observe(elapsed)
+	if grant != nil {
+		grant.ObserveScanLatency(elapsed)
+	}
 	if err != nil {
 		s.scanError(w, err)
 		return
@@ -437,6 +460,15 @@ func (s *Server) handleAttack(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotImplemented, "attack endpoint disabled")
 		return
 	}
+	grant, ok := s.admitTenant(w, r)
+	if !ok {
+		return
+	}
+	var tenantName string
+	if grant != nil {
+		defer grant.Release()
+		tenantName = grant.Tenant()
+	}
 	// The submit-time snapshot pins the target detector and records the
 	// generation the job started against; oracle queries still flow through
 	// the live pipeline, so the job view can report both versions when a
@@ -466,7 +498,7 @@ func (s *Server) handleAttack(w http.ResponseWriter, r *http.Request) {
 		oracle = s.cfg.OracleWrap(oracle)
 	}
 	seed := s.cfg.Seed + s.seedSeq.Add(1)*7919
-	id, err := s.jobs.submit(targetName, ms.version, func(ctx context.Context, h *jobHandle) {
+	id, err := s.jobs.submit(targetName, ms.version, tenantName, func(ctx context.Context, h *jobHandle) {
 		retrying := &retryOracle{
 			inner:      oracle,
 			attempts:   s.cfg.OracleAttempts,
@@ -490,26 +522,46 @@ func (s *Server) handleAttack(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.AttackRequests.Add(1)
+	if grant != nil {
+		grant.CountAttack()
+	}
 	writeJSON(w, http.StatusAccepted, attackResponse{ID: id, Target: targetName, Poll: "/v1/jobs/" + id})
 }
 
 // retryAfter estimates how long a shed client should wait before retrying:
 // the current backlog divided by the observed completion rate, clamped to
-// [1, 60] seconds. With no throughput history yet it answers 1.
+// [1, 60] seconds.
 func (s *Server) retryAfter(backlog int, completed int64) string {
-	up := time.Since(s.started).Seconds()
-	if up <= 0 || completed <= 0 {
-		return "1"
+	return strconv.Itoa(retryAfterSecs(backlog, completed, time.Since(s.started).Seconds()))
+}
+
+// retryAfterSecs is the pure drain-rate estimator behind every Retry-After
+// hint. The cold-start guard comes first: before any completion has been
+// observed (or with a non-positive uptime, as on a clock step) there is no
+// rate to divide by, so the answer is the minimum legal hint of 1 rather
+// than a division by zero. The clamp then bounds the estimate to [1, 60],
+// which also absorbs a zero backlog (ceil(1/rate) can round to 1 but the
+// clamp makes the floor unconditional) and any float oddity the division
+// could produce.
+func retryAfterSecs(backlog int, completed int64, upSeconds float64) int {
+	if upSeconds <= 0 || completed <= 0 {
+		return 1
 	}
-	rate := float64(completed) / up
-	secs := int(math.Ceil(float64(backlog+1) / rate))
-	if secs < 1 {
-		secs = 1
+	rate := float64(completed) / upSeconds
+	return clampRetrySecs(math.Ceil(float64(backlog+1) / rate))
+}
+
+// clampRetrySecs bounds a raw estimate to the advertised [1, 60] window.
+// The lower comparison is written `!(secs >= 1)` so NaN — which fails every
+// comparison — lands on the safe floor instead of leaking into the header.
+func clampRetrySecs(secs float64) int {
+	if !(secs >= 1) {
+		return 1
 	}
 	if secs > 60 {
-		secs = 60
+		return 60
 	}
-	return strconv.Itoa(secs)
+	return int(secs)
 }
 
 // retryAfterScan derives the scan-shed hint from batcher throughput; scans
@@ -525,6 +577,9 @@ func (s *Server) retryAfterAttack() string {
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.authTenant(w, r); !ok {
+		return
+	}
 	id := r.PathValue("id")
 	includeAE := r.URL.Query().Get("ae") == "1"
 	v, ok := s.jobs.view(id, includeAE)
@@ -542,6 +597,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap.JobsDone = s.jobs.pool.Done()
 	snap.JobsRegistry = s.jobs.size()
 	snap.JobsRegistryCap = s.jobs.maxJobs
+	if s.cfg.Tenants != nil {
+		snap.Tenants = s.cfg.Tenants.Snapshot()
+	}
 	writeJSON(w, http.StatusOK, snap)
 }
 

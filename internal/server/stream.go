@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"mpass/internal/detect"
+	"mpass/internal/tenant"
 )
 
 // streamEligible routes a scan to the streaming pipeline: the generation
@@ -36,7 +37,7 @@ func (s *Server) streamEligible(r *http.Request, ms *modelSet) bool {
 // StreamChunk-sized pieces, each fanned to the SHA-256 hasher and every
 // detector's stream; nothing retains the chunk, so peak memory is the chunk
 // buffer plus the detectors' pooled scratch.
-func (s *Server) handleScanStream(w http.ResponseWriter, r *http.Request, ms *modelSet) {
+func (s *Server) handleScanStream(w http.ResponseWriter, r *http.Request, ms *modelSet, grant *tenant.Grant) {
 	s.metrics.ScanRequests.Add(1)
 	start := time.Now()
 
@@ -104,7 +105,11 @@ func (s *Server) handleScanStream(w http.ResponseWriter, r *http.Request, ms *mo
 
 	s.metrics.ScansStreamed.Add(1)
 	s.metrics.StreamedBytes.Add(total)
-	s.metrics.ScanLatency.Observe(time.Since(start))
+	elapsed := time.Since(start)
+	s.metrics.ScanLatency.Observe(elapsed)
+	if grant != nil {
+		grant.ObserveScanLatency(elapsed)
+	}
 
 	resp := scanResponse{
 		SHA256:       hex.EncodeToString(sum[:]),

@@ -1,0 +1,96 @@
+// Tenant admission glue: the HTTP face of internal/tenant. Quota checks
+// run before the body is read and before any batcher or job-pool slot is
+// touched, so a rejected request (401/429) consumes nothing downstream —
+// a noisy tenant's floods never crowd the shared bounded queues that the
+// global admission layer protects.
+package server
+
+import (
+	"errors"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"mpass/internal/tenant"
+)
+
+// apiKey extracts the request credential: `Authorization: Bearer <key>`
+// wins, `X-API-Key: <key>` is the curl-friendly fallback.
+func apiKey(r *http.Request) string {
+	if auth := r.Header.Get("Authorization"); auth != "" {
+		if key, ok := strings.CutPrefix(auth, "Bearer "); ok {
+			return strings.TrimSpace(key)
+		}
+	}
+	return r.Header.Get("X-API-Key")
+}
+
+// admitTenant runs tenant admission for one metered request. With no table
+// configured the server is single-tenant and everything passes with a nil
+// grant. On rejection it writes the 401/429 response (429 always carries a
+// Retry-After ≥ 1 derived from the tenant's own refill wait) and returns
+// ok=false; the caller must not touch the body or the pipeline.
+func (s *Server) admitTenant(w http.ResponseWriter, r *http.Request) (*tenant.Grant, bool) {
+	if s.cfg.Tenants == nil {
+		return nil, true
+	}
+	grant, err := s.cfg.Tenants.Admit(apiKey(r), time.Now())
+	if err == nil {
+		return grant, true
+	}
+	var qe *tenant.QuotaError
+	if errors.As(err, &qe) {
+		s.metrics.TenantRejected.Add(1)
+		w.Header().Set("Retry-After", retryAfterQuota(qe.RetryAfter))
+		writeError(w, http.StatusTooManyRequests, qe.Error())
+		return nil, false
+	}
+	s.metrics.TenantUnauthenticated.Add(1)
+	writeError(w, http.StatusUnauthorized, "unknown or missing API key")
+	return nil, false
+}
+
+// authTenant authenticates without charging quota — read-only endpoints
+// (job polls, operational reloads) where metering a poll loop would burn
+// the budget the tenant needs for its actual work. Empty tenant name with
+// ok=true means single-tenant mode.
+func (s *Server) authTenant(w http.ResponseWriter, r *http.Request) (string, bool) {
+	if s.cfg.Tenants == nil {
+		return "", true
+	}
+	name, ok := s.cfg.Tenants.Lookup(apiKey(r))
+	if !ok {
+		s.metrics.TenantUnauthenticated.Add(1)
+		writeError(w, http.StatusUnauthorized, "unknown or missing API key")
+		return "", false
+	}
+	return name, true
+}
+
+// handleTenantsReload re-reads the allowlist file (POST /v1/tenants/reload
+// — the HTTP twin of SIGHUP). Any resident tenant may trigger it; a load
+// or validation error leaves the current allowlist serving and answers 422.
+func (s *Server) handleTenantsReload(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Tenants == nil {
+		writeError(w, http.StatusNotImplemented, "tenant allowlist not configured")
+		return
+	}
+	if _, ok := s.authTenant(w, r); !ok {
+		return
+	}
+	n, err := s.cfg.Tenants.Reload()
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	s.metrics.TenantReloads.Add(1)
+	writeJSON(w, http.StatusOK, map[string]int{"tenants": n})
+}
+
+// retryAfterQuota renders a token-bucket refill wait as a Retry-After
+// header value, through the same [1, 60] clamp as the drain-rate hints.
+func retryAfterQuota(wait time.Duration) string {
+	return strconv.Itoa(clampRetrySecs(math.Ceil(wait.Seconds())))
+}

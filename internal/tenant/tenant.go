@@ -1,0 +1,99 @@
+// Package tenant is the multi-tenant admission layer in front of the
+// serving pipeline: API-key authentication against a static allowlist
+// file, per-tenant token-bucket rate limits, and a per-tenant in-flight
+// cap (the fair-queue share of the shared bounded scan/attack queues).
+//
+// The layer sits *in front of* the server's global admission, never in
+// place of it: a request must first present a resident key, then clear
+// its tenant's own bucket and in-flight share, and only then competes for
+// the shared batcher and job-pool capacity. Quota rejections therefore
+// consume no batcher or job-pool slots — a noisy tenant burns only its
+// own budget, and the attack economics MPass measures in oracle queries
+// become per-tenant accounting instead of an anonymous free-for-all.
+//
+// The allowlist is hot-reloadable (SIGHUP or POST /v1/tenants/reload):
+// reloads preserve the bucket fill and metrics of tenants that survive
+// the swap (matched by name, so keys can rotate without resetting
+// budgets), and the active table is an atomic snapshot — admission never
+// takes the reload lock.
+//
+// The package deliberately depends only on the standard library so every
+// serving tier (server, gateway, daemons) can embed it without cycles.
+package tenant
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+)
+
+// Tenant is one allowlist entry: an identity, its API key, and its
+// admission budget.
+type Tenant struct {
+	// Name identifies the tenant in metrics, job views, and logs. Unique.
+	Name string `json:"name"`
+	// Key is the API credential presented as `Authorization: Bearer <key>`
+	// or `X-API-Key: <key>`. Unique across the allowlist; rotating it on a
+	// reload keeps the tenant's bucket state (entries pair by Name).
+	Key string `json:"key"`
+	// RatePerSec is the sustained admission rate of the tenant's token
+	// bucket. 0 leaves the tenant unmetered (authentication only).
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	// Burst is the bucket capacity — how far above the sustained rate a
+	// quiet tenant may spike. Defaults to ceil(RatePerSec), minimum 1.
+	Burst int `json:"burst,omitempty"`
+	// MaxInFlight caps the tenant's concurrently admitted requests: its
+	// fair share of the shared bounded queues behind this layer. 0 means
+	// uncapped.
+	MaxInFlight int `json:"max_in_flight,omitempty"`
+}
+
+// allowlistFile is the on-disk form: {"tenants": [...]}.
+type allowlistFile struct {
+	Tenants []Tenant `json:"tenants"`
+}
+
+// ParseAllowlist decodes and validates an allowlist document.
+func ParseAllowlist(data []byte) ([]Tenant, error) {
+	var doc allowlistFile
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("tenant: decoding allowlist: %w", err)
+	}
+	if len(doc.Tenants) == 0 {
+		return nil, errors.New("tenant: allowlist declares no tenants")
+	}
+	names := make(map[string]bool, len(doc.Tenants))
+	keys := make(map[string]bool, len(doc.Tenants))
+	for i, t := range doc.Tenants {
+		switch {
+		case t.Name == "":
+			return nil, fmt.Errorf("tenant: entry %d has no name", i)
+		case t.Key == "":
+			return nil, fmt.Errorf("tenant: %q has no key", t.Name)
+		case names[t.Name]:
+			return nil, fmt.Errorf("tenant: duplicate name %q", t.Name)
+		case keys[t.Key]:
+			return nil, fmt.Errorf("tenant: %q reuses another tenant's key", t.Name)
+		case t.RatePerSec < 0 || math.IsNaN(t.RatePerSec) || math.IsInf(t.RatePerSec, 0):
+			return nil, fmt.Errorf("tenant: %q has invalid rate_per_sec %v", t.Name, t.RatePerSec)
+		case t.Burst < 0:
+			return nil, fmt.Errorf("tenant: %q has negative burst", t.Name)
+		case t.MaxInFlight < 0:
+			return nil, fmt.Errorf("tenant: %q has negative max_in_flight", t.Name)
+		}
+		names[t.Name] = true
+		keys[t.Key] = true
+	}
+	return doc.Tenants, nil
+}
+
+// LoadAllowlist reads and validates an allowlist file.
+func LoadAllowlist(path string) ([]Tenant, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("tenant: reading allowlist: %w", err)
+	}
+	return ParseAllowlist(data)
+}
