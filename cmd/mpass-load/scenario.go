@@ -395,7 +395,12 @@ func (run *scenarioRun) auditScan(r io.Reader, sent []byte, st *streamStats) {
 		} `json:"results"`
 	}
 	if err := json.NewDecoder(r).Decode(&doc); err != nil {
-		st.failed.Add(1)
+		// The 200 was already tallied in ok by doScan; tallying failed here
+		// too would double-count the request. An undecodable body is an
+		// audit failure — a response the server got wrong, not a second
+		// request.
+		st.audited.Add(1)
+		st.incorrect.Add(1)
 		return
 	}
 	sum := sha256.Sum256(sent)

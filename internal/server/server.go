@@ -402,7 +402,6 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 	}
 	if grant != nil {
 		defer grant.Release()
-		grant.CountScan()
 	}
 	// One snapshot per request: the same generation routes the streaming
 	// decision and keys the cache lookup below.
@@ -415,7 +414,13 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	// Per-tenant Scans counts in lockstep with the global ScanRequests:
+	// both tick once the request has cleared validation and enters the
+	// pipeline, so 400/413 rejects appear in neither ledger.
 	s.metrics.ScanRequests.Add(1)
+	if grant != nil {
+		grant.CountScan()
+	}
 	start := time.Now()
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
@@ -577,12 +582,20 @@ func (s *Server) retryAfterAttack() string {
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
-	if _, ok := s.authTenant(w, r); !ok {
+	caller, ok := s.authTenant(w, r)
+	if !ok {
 		return
 	}
 	id := r.PathValue("id")
 	includeAE := r.URL.Query().Get("ae") == "1"
 	v, ok := s.jobs.view(id, includeAE)
+	// Multi-tenant servers scope jobs to their submitter: IDs are sequential
+	// and enumerable, so a foreign tenant's poll must be indistinguishable
+	// from a job that never existed — 404, not 403, or the status code alone
+	// would confirm the guessed ID and leak another tenant's activity.
+	if ok && caller != "" && v.Tenant != caller {
+		ok = false
+	}
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown job %q", id))
 		return

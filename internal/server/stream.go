@@ -39,6 +39,9 @@ func (s *Server) streamEligible(r *http.Request, ms *modelSet) bool {
 // buffer plus the detectors' pooled scratch.
 func (s *Server) handleScanStream(w http.ResponseWriter, r *http.Request, ms *modelSet, grant *tenant.Grant) {
 	s.metrics.ScanRequests.Add(1)
+	if grant != nil {
+		grant.CountScan()
+	}
 	start := time.Now()
 
 	streams := make([]detect.ScoreStream, len(ms.streamers))

@@ -70,14 +70,22 @@ func (s *Server) authTenant(w http.ResponseWriter, r *http.Request) (string, boo
 }
 
 // handleTenantsReload re-reads the allowlist file (POST /v1/tenants/reload
-// — the HTTP twin of SIGHUP). Any resident tenant may trigger it; a load
-// or validation error leaves the current allowlist serving and answers 422.
+// — the HTTP twin of SIGHUP). Only an admin-flagged tenant may trigger it:
+// reloads are an operational action (disk re-read, metric churn), and the
+// gateway forwards customer credentials verbatim, so a plain resident key
+// must not reach it. An allowlist with no admin entry leaves SIGHUP as the
+// only trigger. A load or validation error leaves the current allowlist
+// serving and answers 422.
 func (s *Server) handleTenantsReload(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Tenants == nil {
 		writeError(w, http.StatusNotImplemented, "tenant allowlist not configured")
 		return
 	}
 	if _, ok := s.authTenant(w, r); !ok {
+		return
+	}
+	if !s.cfg.Tenants.IsAdmin(apiKey(r)) {
+		writeError(w, http.StatusForbidden, "reload requires an admin credential")
 		return
 	}
 	n, err := s.cfg.Tenants.Reload()

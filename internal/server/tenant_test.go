@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -211,9 +212,10 @@ func TestTenantFairnessUnderContention(t *testing.T) {
 	}
 }
 
-// TestTenantReloadEndpoint drills POST /v1/tenants/reload: resident keys
-// may trigger it, anonymous callers may not, a key rotation takes effect
-// atomically, and a broken allowlist leaves the old one serving (422).
+// TestTenantReloadEndpoint drills POST /v1/tenants/reload: admin keys
+// may trigger it, plain resident keys get 403, anonymous callers 401, a
+// key rotation takes effect atomically, and a broken allowlist leaves
+// the old one serving (422).
 func TestTenantReloadEndpoint(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "tenants.json")
 	write := func(doc string) {
@@ -222,7 +224,7 @@ func TestTenantReloadEndpoint(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	write(`{"tenants":[{"name":"acme","key":"ka"}]}`)
+	write(`{"tenants":[{"name":"ops","key":"kops","admin":true},{"name":"acme","key":"ka"}]}`)
 	tb, err := tenant.LoadTable(path)
 	if err != nil {
 		t.Fatal(err)
@@ -233,21 +235,30 @@ func TestTenantReloadEndpoint(t *testing.T) {
 	if resp.StatusCode != http.StatusUnauthorized {
 		t.Fatalf("anonymous reload: status %d, want 401", resp.StatusCode)
 	}
+	// A resident customer key authenticates but is not an operator.
+	resp, _ = postAuth(t, ts.URL+"/v1/tenants/reload", "ka", false, nil)
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("customer-key reload: status %d, want 403", resp.StatusCode)
+	}
+	if got := s.metrics.TenantReloads.Load(); got != 0 {
+		t.Fatalf("tenant_reloads = %d after rejected attempts, want 0", got)
+	}
 
-	// Rotate the key on disk; the old key triggers the reload that retires it.
-	write(`{"tenants":[{"name":"acme","key":"ka-rotated"}]}`)
+	// Rotate the admin key on disk; the old key triggers the reload that
+	// retires it.
+	write(`{"tenants":[{"name":"ops","key":"kops-rotated","admin":true},{"name":"acme","key":"ka"}]}`)
 	var out map[string]int
-	resp, body := postAuth(t, ts.URL+"/v1/tenants/reload", "ka", false, nil)
+	resp, body := postAuth(t, ts.URL+"/v1/tenants/reload", "kops", false, nil)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("reload: status %d (%s)", resp.StatusCode, body)
 	}
-	if err := json.Unmarshal(body, &out); err != nil || out["tenants"] != 1 {
-		t.Fatalf("reload response %s (err %v), want {\"tenants\": 1}", body, err)
+	if err := json.Unmarshal(body, &out); err != nil || out["tenants"] != 2 {
+		t.Fatalf("reload response %s (err %v), want {\"tenants\": 2}", body, err)
 	}
-	if resp, _ := postAuth(t, ts.URL+"/v1/scan", "ka", false, []byte("x")); resp.StatusCode != http.StatusUnauthorized {
+	if resp, _ := postAuth(t, ts.URL+"/v1/scan", "kops", false, []byte("x")); resp.StatusCode != http.StatusUnauthorized {
 		t.Fatalf("rotated-out key scan: status %d, want 401", resp.StatusCode)
 	}
-	if resp, _ := postAuth(t, ts.URL+"/v1/scan", "ka-rotated", false, []byte("x")); resp.StatusCode != http.StatusOK {
+	if resp, _ := postAuth(t, ts.URL+"/v1/scan", "kops-rotated", false, []byte("x")); resp.StatusCode != http.StatusOK {
 		t.Fatalf("rotated-in key scan: status %d, want 200", resp.StatusCode)
 	}
 	if got := s.metrics.TenantReloads.Load(); got != 1 {
@@ -256,11 +267,11 @@ func TestTenantReloadEndpoint(t *testing.T) {
 
 	// A broken file answers 422 and leaves the current allowlist serving.
 	write(`{"tenants":[]}`)
-	resp, _ = postAuth(t, ts.URL+"/v1/tenants/reload", "ka-rotated", false, nil)
+	resp, _ = postAuth(t, ts.URL+"/v1/tenants/reload", "kops-rotated", false, nil)
 	if resp.StatusCode != http.StatusUnprocessableEntity {
 		t.Fatalf("broken reload: status %d, want 422", resp.StatusCode)
 	}
-	if resp, _ := postAuth(t, ts.URL+"/v1/scan", "ka-rotated", false, []byte("y")); resp.StatusCode != http.StatusOK {
+	if resp, _ := postAuth(t, ts.URL+"/v1/scan", "kops-rotated", false, []byte("y")); resp.StatusCode != http.StatusOK {
 		t.Fatalf("scan after failed reload: status %d — failed reload clobbered the table", resp.StatusCode)
 	}
 }
@@ -314,6 +325,69 @@ func TestTenantJobAttribution(t *testing.T) {
 	}
 	if snap := tb.Snapshot()["acme"]; snap.Attacks != 1 || snap.Admitted != 1 {
 		t.Fatalf("tenant snapshot = %+v, want 1 attack / 1 admitted (polls must not charge quota)", snap)
+	}
+}
+
+// TestTenantJobIsolation: a job is visible only to its submitting
+// tenant. Job IDs are sequential and enumerable, so a foreign tenant's
+// poll must answer 404 — shaped exactly like a truly unknown ID, or the
+// response alone would confirm the guessed ID — while the submitter
+// keeps reading its own job, AE bytes included.
+func TestTenantJobIsolation(t *testing.T) {
+	tb := tenantTable(t,
+		tenant.Tenant{Name: "acme", Key: "ka"},
+		tenant.Tenant{Name: "mallory", Key: "km"},
+	)
+	_, ts := newTestServer(t, Config{Tenants: tb, Attack: stubAttack(1), Seed: 7})
+
+	resp, body := postAuth(t, ts.URL+"/v1/attack?target=B", "ka", false, []byte("victim"))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("attack: status %d (%s)", resp.StatusCode, body)
+	}
+	var ar attackResponse
+	if err := json.Unmarshal(body, &ar); err != nil {
+		t.Fatal(err)
+	}
+	jobID := strings.TrimPrefix(ar.Poll, "/v1/jobs/")
+
+	get := func(key, path string) (*http.Response, string) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, ts.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if key != "" {
+			req.Header.Set("X-API-Key", key)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp, buf.String()
+	}
+
+	// The submitter reads its own job, with and without the AE bytes.
+	for _, q := range []string{"", "?ae=1"} {
+		if resp, body := get("ka", ar.Poll+q); resp.StatusCode != http.StatusOK {
+			t.Fatalf("owner poll %q: status %d (%s)", q, resp.StatusCode, body)
+		}
+	}
+
+	// The foreign tenant's poll of the live ID and its poll of a
+	// never-issued ID must be the same response, modulo the echoed ID.
+	respForeign, bodyForeign := get("km", ar.Poll+"?ae=1")
+	if respForeign.StatusCode != http.StatusNotFound {
+		t.Fatalf("foreign poll: status %d (%s), want 404", respForeign.StatusCode, bodyForeign)
+	}
+	respGhost, bodyGhost := get("km", "/v1/jobs/ghost?ae=1")
+	if respGhost.StatusCode != http.StatusNotFound {
+		t.Fatalf("ghost poll: status %d, want 404", respGhost.StatusCode)
+	}
+	if want := strings.Replace(bodyGhost, `ghost`, jobID, 1); bodyForeign != want {
+		t.Fatalf("foreign 404 body %q differs from unknown-ID 404 %q — existence leaked", bodyForeign, want)
 	}
 }
 

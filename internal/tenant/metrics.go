@@ -11,7 +11,7 @@ import (
 // dependency-free (the server imports tenant, never the reverse).
 type Metrics struct {
 	Admitted    atomic.Int64 // requests past auth, bucket, and in-flight share
-	Scans       atomic.Int64 // admitted scan requests
+	Scans       atomic.Int64 // scan requests entering the pipeline (mirrors global ScanRequests)
 	Attacks     atomic.Int64 // admitted attack submissions
 	RateLimited atomic.Int64 // rejections by the token bucket
 	Saturated   atomic.Int64 // rejections by the in-flight share

@@ -36,6 +36,7 @@ type entry struct {
 	name        string
 	bucket      *bucket
 	maxInFlight atomic.Int64 // 0 = uncapped; retuned in place on reload
+	admin       atomic.Bool  // operator credential; retuned in place on reload
 	inflight    atomic.Int64
 	m           Metrics
 }
@@ -114,6 +115,7 @@ func (t *Table) install(tenants []Tenant, now time.Time) {
 			e = &entry{name: tn.Name, bucket: newBucket(tn.RatePerSec, tn.Burst, now)}
 		}
 		e.maxInFlight.Store(int64(tn.MaxInFlight))
+		e.admin.Store(tn.Admin)
 		st.byKey[tn.Key] = e
 		st.entries = append(st.entries, e)
 	}
@@ -135,6 +137,16 @@ func (t *Table) Lookup(key string) (string, bool) {
 		return "", false
 	}
 	return e.name, true
+}
+
+// IsAdmin reports whether the key authenticates an admin (operator)
+// tenant. Like Lookup it charges no quota; unknown keys are never admin.
+func (t *Table) IsAdmin(key string) bool {
+	if key == "" {
+		return false
+	}
+	e, ok := t.state.Load().byKey[key]
+	return ok && e.admin.Load()
 }
 
 // Admit authenticates and meters one request. The checks run cheapest

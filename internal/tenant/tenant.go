@@ -48,6 +48,11 @@ type Tenant struct {
 	// fair share of the shared bounded queues behind this layer. 0 means
 	// uncapped.
 	MaxInFlight int `json:"max_in_flight,omitempty"`
+	// Admin marks an operator credential: only admin keys may drive
+	// operational actions (POST /v1/tenants/reload). Customer keys never
+	// get this bit — an allowlist with no admin entry leaves HTTP reloads
+	// disabled and SIGHUP as the only trigger.
+	Admin bool `json:"admin,omitempty"`
 }
 
 // allowlistFile is the on-disk form: {"tenants": [...]}.

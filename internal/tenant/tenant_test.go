@@ -339,6 +339,50 @@ func TestReloadPreservesState(t *testing.T) {
 	}
 }
 
+// TestIsAdmin: the admin bit gates operator actions — set only by an
+// explicit "admin": true entry, never for unknown/empty keys, charged
+// nothing, and retuned in place by a reload (grant and revoke both).
+func TestIsAdmin(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tenants.json")
+	writeAllowlist(t, path, `{"tenants":[
+		{"name":"ops","key":"kops","admin":true},
+		{"name":"a","key":"ka","rate_per_sec":1,"burst":1}
+	]}`)
+	tb, err := LoadTable(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tb.IsAdmin("kops") {
+		t.Fatal("admin entry's key is not admin")
+	}
+	for _, key := range []string{"ka", "nope", ""} {
+		if tb.IsAdmin(key) {
+			t.Fatalf("IsAdmin(%q) = true, want false", key)
+		}
+	}
+	// IsAdmin is auth-only: a's single token must still be there.
+	if g, err := tb.Admit("ka", time.Now()); err != nil {
+		t.Fatalf("admit after IsAdmin probes: %v (probe charged the bucket?)", err)
+	} else {
+		g.Release()
+	}
+
+	// A reload flips the bit in place: ops demoted, a promoted.
+	writeAllowlist(t, path, `{"tenants":[
+		{"name":"ops","key":"kops"},
+		{"name":"a","key":"ka","rate_per_sec":1,"burst":1,"admin":true}
+	]}`)
+	if _, err := tb.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	if tb.IsAdmin("kops") {
+		t.Fatal("demoted tenant kept the admin bit across reload")
+	}
+	if !tb.IsAdmin("ka") {
+		t.Fatal("promoted tenant did not gain the admin bit across reload")
+	}
+}
+
 // TestReloadWithoutPath: a literal-list table refuses to Reload rather
 // than silently doing nothing.
 func TestReloadWithoutPath(t *testing.T) {
